@@ -1,0 +1,64 @@
+// Command ablations runs the design-choice sweeps DESIGN.md catalogues:
+// coherence-block size, data placement, stache page budget, network
+// latency, migratory sharing, the EM3D protocol chain (invalidate vs.
+// check-in vs. update), and the software-Tempest comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+)
+
+func main() {
+	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	only := flag.String("only", "", "run a single ablation: blocksize, placement, budget, netlatency, migratory, em3d, software")
+	flag.Parse()
+	sc := harness.Scale(*scale)
+
+	type ab struct {
+		key   string
+		title string
+		run   func() ([]harness.AblationRow, error)
+	}
+	all := []ab{
+		{"blocksize", "Coherence-block size (Typhoon/Stache, EM3D small)",
+			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc) }},
+		{"placement", "Data placement (Ocean small, 4 KB caches)",
+			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc) }},
+		{"budget", "Stache page budget (EM3D small)",
+			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc) }},
+		{"netlatency", "Network latency sensitivity (Ocean small, 4 KB caches)",
+			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc) }},
+		{"migratory", "Migratory-sharing extension (MP3D small)",
+			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc) }},
+		{"em3d", "EM3D protocol chain at 30% remote edges (paper section 4)",
+			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30) }},
+		{"software", "Software Tempest (Blizzard) vs. Typhoon hardware",
+			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc) }},
+	}
+
+	ran := 0
+	for _, a := range all {
+		if *only != "" && a.key != *only {
+			continue
+		}
+		rows, err := a.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablations: %s: %v\n", a.key, err)
+			os.Exit(1)
+		}
+		if err := harness.RenderAblation(os.Stdout, a.title, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ablations: unknown ablation %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Command fig3 regenerates Figure 3 of the paper: the execution time of
+// Typhoon/Stache relative to the all-hardware DirNNB system across the
+// five benchmarks and dataset/cache combinations.
+//
+// By default it runs the reduced-scale sweep (8 nodes, scaled data sets,
+// seconds of wall time). Pass -scale paper for the full Table 3 sizes on
+// 32 simulated nodes (minutes of wall time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+)
+
+func main() {
+	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	appsFlag := flag.String("apps", "", "comma-separated benchmark subset (default: all five)")
+	flag.Parse()
+
+	opts := harness.Fig3Options{Scale: harness.Scale(*scale)}
+	if *appsFlag != "" {
+		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	cells, err := harness.Figure3(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig3:", err)
+		os.Exit(1)
+	}
+	if err := harness.RenderFigure3(os.Stdout, cells); err != nil {
+		fmt.Fprintln(os.Stderr, "fig3:", err)
+		os.Exit(1)
+	}
+}

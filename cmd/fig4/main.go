@@ -1,0 +1,45 @@
+// Command fig4 regenerates Figure 4 of the paper: EM3D cycles per edge
+// versus the percentage of non-local edges, comparing DirNNB,
+// Typhoon/Stache, and the custom Typhoon delayed-update protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+)
+
+func main() {
+	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	set := flag.String("set", "large", "data set: small or large (the paper uses large)")
+	pcts := flag.String("pcts", "", "comma-separated remote-edge percentages (default 0..50 step 10)")
+	flag.Parse()
+
+	opts := harness.Fig4Options{
+		Scale: harness.Scale(*scale),
+		Set:   harness.DataSet(*set),
+	}
+	if *pcts != "" {
+		for _, s := range strings.Split(*pcts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fig4: bad percentage:", s)
+				os.Exit(1)
+			}
+			opts.Pcts = append(opts.Pcts, v)
+		}
+	}
+	pts, err := harness.Figure4(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig4:", err)
+		os.Exit(1)
+	}
+	if err := harness.RenderFigure4(os.Stdout, pts); err != nil {
+		fmt.Fprintln(os.Stderr, "fig4:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// Command typhoon-sim runs one benchmark on one simulated target system
+// and reports execution time and event counters.
+//
+// Examples:
+//
+//	typhoon-sim -app ocean -system typhoon-stache
+//	typhoon-sim -app em3d -system typhoon-update -set large -scale paper
+//	typhoon-sim -app barnes -system dirnnb -counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+	"github.com/tempest-sim/tempest/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "benchmark: appbt, barnes, mp3d, ocean, em3d")
+	system := flag.String("system", "typhoon-stache", "target: dirnnb, typhoon-stache, typhoon-update (em3d only)")
+	set := flag.String("set", "small", "data set: small or large (Table 3)")
+	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	cacheKB := flag.Int("cache", 0, "CPU cache size in KB (0 = Table 2 default)")
+	nodes := flag.Int("nodes", 0, "node count (0 = scale default)")
+	counters := flag.Bool("counters", false, "dump all event counters")
+	flag.Parse()
+
+	mcfg := harness.MachineConfig(harness.Scale(*scale), *cacheKB<<10)
+	if *nodes > 0 {
+		mcfg.Nodes = *nodes
+	}
+
+	var rr harness.RunResult
+	var err error
+	switch harness.System(*system) {
+	case harness.SysUpdate:
+		if *app != "em3d" {
+			fmt.Fprintln(os.Stderr, "typhoon-sim: the update protocol only runs em3d")
+			os.Exit(1)
+		}
+		ecfg := harness.EM3DConfig(harness.Scale(*scale), harness.DataSet(*set))
+		rr, err = harness.RunEM3DUpdate(mcfg, ecfg)
+	default:
+		bench, mkErr := harness.MakeApp(*app, harness.Scale(*scale), harness.DataSet(*set))
+		if mkErr != nil {
+			fmt.Fprintln(os.Stderr, "typhoon-sim:", mkErr)
+			os.Exit(1)
+		}
+		rr, err = harness.Run(mcfg, harness.System(*system), bench)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s (%s/%s): %d nodes, %d KB caches\n",
+		rr.App, rr.System, *scale, *set, mcfg.Nodes, mcfg.CacheSize>>10)
+	fmt.Printf("  total cycles:    %d\n", rr.Res.Cycles)
+	fmt.Printf("  measured region: %d\n", rr.Res.ROICycles)
+	fmt.Printf("  result verified against sequential reference: ok\n")
+	if *counters {
+		t := &stats.Table{Title: "event counters", Header: []string{"counter", "value"}}
+		for _, name := range rr.Res.Counters.Names() {
+			if v := rr.Res.Counters.Get(name); v > 0 {
+				t.AddRow(name, stats.D(v))
+			}
+		}
+		fmt.Println()
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
+			os.Exit(1)
+		}
+	}
+}

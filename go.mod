@@ -1,0 +1,3 @@
+module github.com/tempest-sim/tempest
+
+go 1.22

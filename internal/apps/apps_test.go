@@ -1,0 +1,159 @@
+package apps_test
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/apps"
+	"github.com/tempest-sim/tempest/internal/apps/appbt"
+	"github.com/tempest-sim/tempest/internal/apps/barnes"
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/apps/mp3d"
+	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/dirnnb"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// tiny returns the reduced instances of all five benchmarks.
+func tiny() []apps.App {
+	return []apps.App{
+		appbt.New(appbt.Tiny()),
+		barnes.New(barnes.Tiny()),
+		mp3d.New(mp3d.Tiny()),
+		ocean.New(ocean.Tiny()),
+		em3d.New(em3d.Tiny()),
+	}
+}
+
+func runOn(t *testing.T, app apps.App, system string, nodes int) machine.Result {
+	t.Helper()
+	cfg := machine.Config{Nodes: nodes, CacheSize: 4096, Seed: 1}
+	m := machine.New(cfg)
+	var st *stache.Protocol
+	switch system {
+	case "dirnnb":
+		dirnnb.New(m)
+	case "stache":
+		st = stache.New()
+		typhoon.New(m, st)
+	default:
+		t.Fatalf("unknown system %q", system)
+	}
+	app.Setup(m)
+	res, err := m.Run(app.Body)
+	if err != nil {
+		t.Fatalf("%s on %s: Run: %v", app.Name(), system, err)
+	}
+	if st != nil {
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("%s on %s: invariants: %v", app.Name(), system, err)
+		}
+	}
+	if err := app.Verify(m); err != nil {
+		t.Fatalf("%s on %s: verify: %v", app.Name(), system, err)
+	}
+	return res
+}
+
+func TestAllAppsOnDirNNB(t *testing.T) {
+	for _, app := range tiny() {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) { runOn(t, app, "dirnnb", 4) })
+	}
+}
+
+func TestAllAppsOnTyphoonStache(t *testing.T) {
+	for _, app := range tiny() {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) { runOn(t, app, "stache", 4) })
+	}
+}
+
+func TestAppsOnEightNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, app := range tiny() {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) { runOn(t, app, "stache", 8) })
+	}
+}
+
+func TestAppsROIMeasured(t *testing.T) {
+	app := ocean.New(ocean.Tiny())
+	res := runOn(t, app, "dirnnb", 4)
+	if res.ROICycles == 0 || res.ROICycles > res.Cycles {
+		t.Fatalf("ROI = %d of %d total", res.ROICycles, res.Cycles)
+	}
+}
+
+func TestDistArrayLayout(t *testing.T) {
+	m := machine.New(machine.Config{Nodes: 4, CacheSize: 4096})
+	dirnnb.New(m)
+	a := apps.NewDistArray(m, "x", 100, 8, 0)
+	// Each proc's chunk starts on its own page and is homed there.
+	for p := 0; p < 4; p++ {
+		va := a.At(p, 0)
+		if va.PageOffset() != 0 {
+			t.Fatalf("proc %d chunk not page-aligned", p)
+		}
+		if home := m.VM.Home(va); home != p {
+			t.Fatalf("proc %d chunk homed on %d", p, home)
+		}
+		if home := m.VM.Home(a.At(p, 99)); home != p {
+			t.Fatalf("proc %d chunk end homed on %d", p, home)
+		}
+	}
+	if a.AtGlobal(150) != a.At(1, 50) {
+		t.Fatal("AtGlobal mapping wrong")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := apps.NewRand(7), apps.NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("PRNG not deterministic")
+		}
+	}
+	c := apps.NewRand(8)
+	same := true
+	a2 := apps.NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestBackdoorOverlay(t *testing.T) {
+	m := machine.New(machine.Config{Nodes: 2, CacheSize: 4096})
+	dirnnb.New(m)
+	a := apps.NewDistArray(m, "x", 4, 8, 0)
+	if _, err := m.Run(func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.WriteF64(a.At(0, 0), 3.5)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b := apps.NewBackdoor(m)
+	if got := b.ReadF64(a.At(0, 0)); got != 3.5 {
+		t.Fatalf("backdoor read %v", got)
+	}
+	b.WriteF64(a.At(0, 0), 9.0)
+	if got := b.ReadF64(a.At(0, 0)); got != 9.0 {
+		t.Fatalf("overlay read %v", got)
+	}
+	// The simulated memory is untouched.
+	if got := apps.ReadBackF64(m, a.At(0, 0)); got != 3.5 {
+		t.Fatalf("simulated memory changed to %v", got)
+	}
+	if err := b.Expect(a.At(0, 0), "x"); err == nil {
+		t.Fatal("Expect should fail after divergent overlay write")
+	}
+}

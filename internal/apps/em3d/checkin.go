@@ -1,0 +1,90 @@
+package em3d
+
+import (
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/stache"
+)
+
+// CheckInApp is the paper's §4 middle option: the plain shared-memory
+// EM3D annotated with check-in operations. After each phase a processor
+// checks in the remote blocks it consumed, so the owners' next writes
+// need no invalidation/acknowledgement round trips — at the price of
+// refetching the blocks next iteration. The paper: check-ins "cut
+// communication and latency by replacing the invalidation/acknowledgment
+// with an asynchronous notification, but cannot attain the minimum of
+// one message" the custom update protocol reaches.
+type CheckInApp struct {
+	*App
+	st *stache.Protocol
+
+	// Per processor: the unique remote blocks its E phase reads (H
+	// values) and its H phase reads (E values).
+	remoteH, remoteE [][]mem.VA
+}
+
+// NewCheckInApp pairs an EM3D instance with the Stache protocol whose
+// CheckIn operation it annotates.
+func NewCheckInApp(cfg Config, st *stache.Protocol) *CheckInApp {
+	return &CheckInApp{App: New(cfg), st: st}
+}
+
+// Name implements apps.App.
+func (ca *CheckInApp) Name() string { return "em3d-checkin" }
+
+// Setup implements apps.App.
+func (ca *CheckInApp) Setup(m *machine.Machine) {
+	ca.App.Setup(m)
+	block := func(va mem.VA) mem.VA { return va &^ mem.VA(m.Cfg.BlockSize-1) }
+	ca.remoteH = make([][]mem.VA, ca.nodes)
+	ca.remoteE = make([][]mem.VA, ca.nodes)
+	for p := 0; p < ca.nodes; p++ {
+		seenH := map[mem.VA]bool{}
+		for _, target := range ca.eAdj[p] {
+			b := block(target)
+			if !seenH[b] && m.VM.Home(b) != p {
+				seenH[b] = true
+				ca.remoteH[p] = append(ca.remoteH[p], b)
+			}
+		}
+		seenE := map[mem.VA]bool{}
+		for _, target := range ca.hAdj[p] {
+			b := block(target)
+			if !seenE[b] && m.VM.Home(b) != p {
+				seenE[b] = true
+				ca.remoteE[p] = append(ca.remoteE[p], b)
+			}
+		}
+	}
+}
+
+// Body implements apps.App.
+func (ca *CheckInApp) Body(p *machine.Proc) {
+	pid := p.ID()
+	D := ca.cfg.Degree
+	for k := 0; k < ca.per; k++ {
+		p.WriteF64(ca.eVals.At(pid, k), initVal(0, pid*ca.per+k))
+		p.WriteF64(ca.hVals.At(pid, k), initVal(1, pid*ca.per+k))
+	}
+	for s := 0; s < ca.per*D; s++ {
+		p.WriteF64(ca.eW.At(pid, s), ca.eWv[pid][s])
+		p.WriteF64(ca.hW.At(pid, s), ca.hWv[pid][s])
+	}
+	p.Barrier()
+	p.ROIStart()
+	for it := 0; it < ca.cfg.Iters; it++ {
+		ca.phase(p, ca.eVals, ca.eAdj[pid], ca.eW)
+		// Done with the H copies for this iteration: hand them back so
+		// the owners' updates need no invalidations.
+		for _, b := range ca.remoteH[pid] {
+			ca.st.CheckIn(p, b)
+		}
+		p.Barrier()
+		ca.phase(p, ca.hVals, ca.hAdj[pid], ca.hW)
+		for _, b := range ca.remoteE[pid] {
+			ca.st.CheckIn(p, b)
+		}
+		p.Barrier()
+	}
+	p.ROIEnd()
+}

@@ -1,0 +1,217 @@
+package em3d
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/dirnnb"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+func cfg4() machine.Config {
+	return machine.Config{Nodes: 4, CacheSize: 4096, Seed: 1}
+}
+
+func TestEM3DOnDirNNB(t *testing.T) {
+	m := machine.New(cfg4())
+	dirnnb.New(m)
+	app := New(Tiny())
+	app.Setup(m)
+	if _, err := m.Run(app.Body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := app.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEM3DOnTyphoonStache(t *testing.T) {
+	m := machine.New(cfg4())
+	st := stache.New()
+	typhoon.New(m, st)
+	app := New(Tiny())
+	app.Setup(m)
+	if _, err := m.Run(app.Body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if err := app.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEM3DOnTyphoonUpdate(t *testing.T) {
+	m := machine.New(cfg4())
+	upd := NewUpdateProtocol()
+	typhoon.New(m, upd)
+	app := NewUpdateApp(Tiny(), upd)
+	app.Setup(m)
+	if _, err := m.Run(app.Body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := app.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateBeatsStacheOnRemoteEdges is the Figure 4 shape at one point:
+// with a substantial remote-edge fraction, the custom update protocol
+// must finish faster than both invalidation-based systems.
+func TestUpdateBeatsStacheOnRemoteEdges(t *testing.T) {
+	c := Tiny()
+	c.PctRemote = 50
+	c.Iters = 4
+
+	exec := func(build func(m *machine.Machine) runnable) sim.Time {
+		m := machine.New(cfg4())
+		app := build(m)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := app.Verify(m); err != nil {
+			t.Fatal(err)
+		}
+		return res.ROICycles
+	}
+
+	stacheT := exec(func(m *machine.Machine) runnable {
+		st := stache.New()
+		typhoon.New(m, st)
+		return New(c)
+	})
+	updT := exec(func(m *machine.Machine) runnable {
+		u := NewUpdateProtocol()
+		typhoon.New(m, u)
+		return NewUpdateApp(c, u)
+	})
+	dirT := exec(func(m *machine.Machine) runnable {
+		dirnnb.New(m)
+		return New(c)
+	})
+
+	t.Logf("cycles: dirnnb=%d stache=%d update=%d", dirT, stacheT, updT)
+	if updT >= stacheT {
+		t.Errorf("update (%d) not faster than stache (%d)", updT, stacheT)
+	}
+	if updT >= dirT {
+		t.Errorf("update (%d) not faster than dirnnb (%d)", updT, dirT)
+	}
+}
+
+// apps is the minimal interface the comparison needs.
+type runnable interface {
+	Setup(m *machine.Machine)
+	Body(p *machine.Proc)
+	Verify(m *machine.Machine) error
+}
+
+func TestEM3DDeterministic(t *testing.T) {
+	exec := func() sim.Time {
+		m := machine.New(cfg4())
+		st := stache.New()
+		typhoon.New(m, st)
+		app := New(Tiny())
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.Cycles
+	}
+	if a, b := exec(), exec(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// netMessages counts packets that actually crossed the network (the
+// paper's message counts exclude a processor's hints to its own NP,
+// which short-circuit the network).
+func netMessages(res machine.Result) uint64 {
+	return res.Net.Packets[0] + res.Net.Packets[1] - res.Net.LocalSends
+}
+
+// TestCheckInVariantCorrectAndCheaperThanPlain reproduces the paper §4
+// argument chain at one sweep point: check-in annotations reduce
+// coherence messages versus plain Stache, and the custom update protocol
+// reduces them further.
+func TestCheckInProtocolChain(t *testing.T) {
+	c := Tiny()
+	c.PctRemote = 40
+	c.Iters = 4
+
+	msgs := map[string]uint64{}
+	cycles := map[string]uint64{}
+
+	// Plain Stache.
+	{
+		m := machine.New(cfg4())
+		st := stache.New()
+		typhoon.New(m, st)
+		app := New(c)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(m); err != nil {
+			t.Fatal(err)
+		}
+		msgs["stache"] = netMessages(res)
+		cycles["stache"] = uint64(res.ROICycles)
+	}
+	// Stache + check-in annotations.
+	{
+		m := machine.New(cfg4())
+		st := stache.New()
+		typhoon.New(m, st)
+		app := NewCheckInApp(c, st)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.Get("stache.checkins") == 0 {
+			t.Fatal("no check-ins recorded")
+		}
+		msgs["checkin"] = netMessages(res)
+		cycles["checkin"] = uint64(res.ROICycles)
+	}
+	// Custom update protocol.
+	{
+		m := machine.New(cfg4())
+		u := NewUpdateProtocol()
+		typhoon.New(m, u)
+		app := NewUpdateApp(c, u)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(m); err != nil {
+			t.Fatal(err)
+		}
+		msgs["update"] = netMessages(res)
+		cycles["update"] = uint64(res.ROICycles)
+	}
+
+	t.Logf("messages: stache=%d checkin=%d update=%d", msgs["stache"], msgs["checkin"], msgs["update"])
+	t.Logf("cycles:   stache=%d checkin=%d update=%d", cycles["stache"], cycles["checkin"], cycles["update"])
+	if msgs["checkin"] >= msgs["stache"] {
+		t.Errorf("check-in should reduce messages: %d vs %d", msgs["checkin"], msgs["stache"])
+	}
+	if msgs["update"] >= msgs["checkin"] {
+		t.Errorf("update should reduce messages below check-in: %d vs %d", msgs["update"], msgs["checkin"])
+	}
+}

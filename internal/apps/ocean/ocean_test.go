@@ -1,0 +1,55 @@
+package ocean
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/dirnnb"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// TestTinyOnBothSystems runs the reduced instance end to end on the
+// hardware baseline and on Typhoon/Stache and verifies the results
+// against the sequential reference. (The cross-application and
+// larger-scale suites live in internal/apps and internal/harness.)
+func TestTinyOnBothSystems(t *testing.T) {
+	for _, system := range []string{"dirnnb", "typhoon-stache"} {
+		system := system
+		t.Run(system, func(t *testing.T) {
+			m := machine.New(machine.Config{Nodes: 4, CacheSize: 4096, Seed: 1})
+			var st *stache.Protocol
+			if system == "dirnnb" {
+				dirnnb.New(m)
+			} else {
+				st = stache.New()
+				typhoon.New(m, st)
+			}
+			app := New(Tiny())
+			app.Setup(m)
+			if _, err := m.Run(app.Body); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if st != nil {
+				if err := st.CheckInvariants(); err != nil {
+					t.Fatalf("invariants: %v", err)
+				}
+			}
+			if err := app.Verify(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConfigConstructors(t *testing.T) {
+	for _, c := range []Config{Small(), Large(), Tiny()} {
+		app := New(c)
+		if app.Name() == "" {
+			t.Fatal("empty name")
+		}
+		if app.Config() != c {
+			t.Fatal("config not preserved")
+		}
+	}
+}

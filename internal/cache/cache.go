@@ -1,0 +1,251 @@
+// Package cache models the hardware caches and TLBs of a Typhoon or
+// DirNNB node (paper Table 2): a set-associative, randomly replaced CPU
+// cache whose lines carry a Shared/Exclusive ownership state (the MBus
+// distinction Typhoon's NP exploits), and a fully associative,
+// FIFO-replaced TLB. Replacement randomness comes from a per-cache seeded
+// xorshift generator so simulations stay deterministic.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/mem"
+)
+
+// LineState is the ownership state of a resident cache line.
+type LineState uint8
+
+// Line states. Exclusive corresponds to an MBus "owned" copy: the CPU may
+// write it silently. Shared lines require a bus upgrade before a write,
+// which is the hook Typhoon's NP uses to enforce ReadOnly tags.
+const (
+	LineInvalid LineState = iota
+	LineShared
+	LineExclusive
+)
+
+func (s LineState) String() string {
+	switch s {
+	case LineInvalid:
+		return "Invalid"
+	case LineShared:
+		return "Shared"
+	case LineExclusive:
+		return "Exclusive"
+	}
+	return fmt.Sprintf("LineState(%d)", uint8(s))
+}
+
+type line struct {
+	tag   uint64 // block number (pa / blockSize)
+	state LineState
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Upgrades    uint64 // writes that hit a Shared line
+	Evictions   uint64 // replacements of a valid line
+	DirtyEvicts uint64 // replacements of an Exclusive line
+	Invals      uint64 // external invalidations that hit
+}
+
+// Cache is a set-associative cache with random replacement.
+type Cache struct {
+	blockSize int
+	ways      int
+	numSets   int
+	sets      []line // numSets * ways, row-major
+	rng       uint64
+	stats     Stats
+}
+
+// New returns a cache of size bytes with the given associativity and
+// block size. Size must divide evenly into sets.
+func New(size, ways, blockSize int, seed uint64) *Cache {
+	if size <= 0 || ways <= 0 || blockSize <= 0 {
+		panic("cache: size, ways and blockSize must be positive")
+	}
+	numSets := size / (ways * blockSize)
+	if numSets == 0 || size%(ways*blockSize) != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d-way sets of %d-byte blocks", size, ways, blockSize))
+	}
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Cache{
+		blockSize: blockSize,
+		ways:      ways,
+		numSets:   numSets,
+		sets:      make([]line, numSets*ways),
+		rng:       seed,
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockSize returns the line size in bytes.
+func (c *Cache) BlockSize() int { return c.blockSize }
+
+// Size returns the cache capacity in bytes.
+func (c *Cache) Size() int { return c.numSets * c.ways * c.blockSize }
+
+func (c *Cache) index(pa mem.PA) (setBase int, tag uint64) {
+	block := uint64(pa) / uint64(c.blockSize)
+	return int(block%uint64(c.numSets)) * c.ways, block
+}
+
+func (c *Cache) next() uint64 {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x
+}
+
+// Probe looks up pa for the given access type without changing cache
+// contents. It reports whether the access hits silently and, if not,
+// whether the line is present in Shared state so a write needs only a bus
+// upgrade rather than a full miss.
+func (c *Cache) Probe(pa mem.PA, write bool) (hit, upgrade bool) {
+	base, tag := c.index(pa)
+	for w := 0; w < c.ways; w++ {
+		l := &c.sets[base+w]
+		if l.state == LineInvalid || l.tag != tag {
+			continue
+		}
+		if write && l.state == LineShared {
+			c.stats.Upgrades++
+			return false, true
+		}
+		c.stats.Hits++
+		return true, false
+	}
+	c.stats.Misses++
+	return false, false
+}
+
+// Lookup returns the state of pa's line without touching statistics.
+func (c *Cache) Lookup(pa mem.PA) LineState {
+	base, tag := c.index(pa)
+	for w := 0; w < c.ways; w++ {
+		l := c.sets[base+w]
+		if l.state != LineInvalid && l.tag == tag {
+			return l.state
+		}
+	}
+	return LineInvalid
+}
+
+// Fill inserts pa's block in the given state, choosing a random victim if
+// the set is full. It returns the physical address and state of the
+// evicted line (victimState is LineInvalid when nothing was evicted).
+func (c *Cache) Fill(pa mem.PA, state LineState) (victim mem.PA, victimState LineState) {
+	if state == LineInvalid {
+		panic("cache: Fill with LineInvalid")
+	}
+	base, tag := c.index(pa)
+	// Reuse an existing or invalid way first.
+	for w := 0; w < c.ways; w++ {
+		l := &c.sets[base+w]
+		if l.state != LineInvalid && l.tag == tag {
+			l.state = state
+			return 0, LineInvalid
+		}
+	}
+	for w := 0; w < c.ways; w++ {
+		l := &c.sets[base+w]
+		if l.state == LineInvalid {
+			l.tag = tag
+			l.state = state
+			return 0, LineInvalid
+		}
+	}
+	// Random replacement.
+	w := int(c.next() % uint64(c.ways))
+	l := &c.sets[base+w]
+	victim = mem.PA(l.tag * uint64(c.blockSize))
+	victimState = l.state
+	c.stats.Evictions++
+	if victimState == LineExclusive {
+		c.stats.DirtyEvicts++
+	}
+	l.tag = tag
+	l.state = state
+	return victim, victimState
+}
+
+// Upgrade promotes pa's line to Exclusive. It panics if the line is not
+// resident (the caller must have probed first).
+func (c *Cache) Upgrade(pa mem.PA) {
+	base, tag := c.index(pa)
+	for w := 0; w < c.ways; w++ {
+		l := &c.sets[base+w]
+		if l.state != LineInvalid && l.tag == tag {
+			l.state = LineExclusive
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: Upgrade of non-resident block %#x", pa))
+}
+
+// Downgrade demotes pa's line to Shared if resident (a remote read of an
+// exclusively held block). It returns the previous state.
+func (c *Cache) Downgrade(pa mem.PA) LineState {
+	base, tag := c.index(pa)
+	for w := 0; w < c.ways; w++ {
+		l := &c.sets[base+w]
+		if l.state != LineInvalid && l.tag == tag {
+			prev := l.state
+			l.state = LineShared
+			return prev
+		}
+	}
+	return LineInvalid
+}
+
+// Invalidate removes pa's line and returns its previous state. Typhoon's
+// invalidate tag operation and DirNNB's invalidation messages use it.
+func (c *Cache) Invalidate(pa mem.PA) LineState {
+	base, tag := c.index(pa)
+	for w := 0; w < c.ways; w++ {
+		l := &c.sets[base+w]
+		if l.state != LineInvalid && l.tag == tag {
+			prev := l.state
+			l.state = LineInvalid
+			c.stats.Invals++
+			return prev
+		}
+	}
+	return LineInvalid
+}
+
+// InvalidatePage removes every line belonging to pa's physical page and
+// returns how many lines were dropped (Stache page replacement).
+func (c *Cache) InvalidatePage(pa mem.PA) int {
+	first := uint64(pa.FrameBase()) / uint64(c.blockSize)
+	n := mem.PageSize / c.blockSize
+	dropped := 0
+	for b := uint64(0); b < uint64(n); b++ {
+		block := first + b
+		base := int(block%uint64(c.numSets)) * c.ways
+		for w := 0; w < c.ways; w++ {
+			l := &c.sets[base+w]
+			if l.state != LineInvalid && l.tag == block {
+				l.state = LineInvalid
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i].state = LineInvalid
+	}
+}

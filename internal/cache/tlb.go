@@ -1,0 +1,81 @@
+package cache
+
+// TLB is a fully associative translation buffer with FIFO replacement
+// (Table 2: 64 entries for the CPU TLB, NP TLB, and RTLB alike). It
+// caches only the presence of a translation; the translation itself is
+// read from the page table by the caller, which charges the miss penalty.
+// The same structure serves the RTLB by keying on physical page numbers.
+type TLB struct {
+	capacity int
+	slots    []uint64
+	valid    []bool
+	fifo     int
+	index    map[uint64]int
+
+	hits, misses uint64
+}
+
+// NewTLB returns an empty TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		panic("cache: TLB needs at least one entry")
+	}
+	return &TLB{
+		capacity: entries,
+		slots:    make([]uint64, entries),
+		valid:    make([]bool, entries),
+		index:    make(map[uint64]int, entries),
+	}
+}
+
+// Lookup reports whether the page number is cached, inserting it (with
+// FIFO replacement) on a miss. The caller charges the miss penalty when
+// it returns false.
+func (t *TLB) Lookup(pn uint64) bool {
+	if i, ok := t.index[pn]; ok && t.valid[i] && t.slots[i] == pn {
+		t.hits++
+		return true
+	}
+	t.misses++
+	t.insert(pn)
+	return false
+}
+
+// Contains reports residency without side effects.
+func (t *TLB) Contains(pn uint64) bool {
+	i, ok := t.index[pn]
+	return ok && t.valid[i] && t.slots[i] == pn
+}
+
+func (t *TLB) insert(pn uint64) {
+	i := t.fifo
+	t.fifo = (t.fifo + 1) % t.capacity
+	if t.valid[i] {
+		delete(t.index, t.slots[i])
+	}
+	t.slots[i] = pn
+	t.valid[i] = true
+	t.index[pn] = i
+}
+
+// InvalidateEntry drops a single page number (page remap or unmap).
+func (t *TLB) InvalidateEntry(pn uint64) {
+	if i, ok := t.index[pn]; ok {
+		t.valid[i] = false
+		delete(t.index, pn)
+	}
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.index = make(map[uint64]int, t.capacity)
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }

@@ -1,0 +1,308 @@
+// Package dirnnb implements the paper's baseline: a conventional,
+// all-hardware DirNNB (full-map, no-broadcast) directory cache-coherence
+// protocol with latencies composed from the "DirNNB Only" rows of
+// Table 2, loosely modeled on the DASH prototype. Every shared page is
+// globally mapped (a cache-coherent NUMA machine); misses to remote homes
+// pay the remote-access formula, and writes invalidate remote sharers
+// through the home directory. As in the paper, network and bus contention
+// are not modeled: the directory is a hardware state machine evaluated
+// atomically with its latency charged to the requesting processor.
+package dirnnb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/tempest-sim/tempest/internal/cache"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+// Latency components from Table 2 ("DirNNB Only").
+const (
+	// RemoteIssue is the cost to launch a remote miss (23 cycles).
+	RemoteIssue sim.Time = 23
+	// RemoteFill is the cost to fill the cache when the response arrives
+	// (34 cycles).
+	RemoteFill sim.Time = 34
+	// ReplShared / ReplExclusive is the extra replacement cost when a
+	// miss displaces a shared (5) or exclusive (16) remote block.
+	ReplShared    sim.Time = 5
+	ReplExclusive sim.Time = 16
+	// DirBase is the base directory operation cost (16 cycles).
+	DirBase sim.Time = 16
+	// DirBlockRecv is added when the directory receives a block (11).
+	DirBlockRecv sim.Time = 11
+	// DirPerMsg is added per message the directory sends (5).
+	DirPerMsg sim.Time = 5
+	// DirBlockSend is added when the directory sends a block (11).
+	DirBlockSend sim.Time = 11
+	// InvalProc is a remote cache's cost to process an invalidation (8).
+	InvalProc sim.Time = 8
+)
+
+// entry is one block's directory state at its home.
+type entry struct {
+	owner   int // node holding an exclusive copy, or -1
+	sharers nodeSet
+}
+
+// System is the DirNNB memory system.
+type System struct {
+	m   *machine.Machine
+	dir map[mem.PA]*entry // keyed by block-aligned home PA
+
+	c *stats.Counters
+}
+
+var _ machine.MemSystem = (*System)(nil)
+
+// New attaches a DirNNB memory system to m.
+func New(m *machine.Machine) *System {
+	s := &System{m: m, dir: make(map[mem.PA]*entry), c: stats.NewCounters()}
+	m.SetMemSystem(s)
+	return s
+}
+
+// Name implements machine.MemSystem.
+func (s *System) Name() string { return "DirNNB" }
+
+// Counters implements machine.MemSystem.
+func (s *System) Counters() *stats.Counters { return s.c }
+
+// SetupSegment eagerly allocates each page's frame at its home node and
+// installs the translation in every node's page table — the global
+// physical address map of a hardware DSM machine. First-touch pages are
+// deferred to the page-fault path.
+func (s *System) SetupSegment(seg *vm.Segment) {
+	for i := 0; i < seg.Pages(); i++ {
+		va := seg.Base + mem.VA(i*mem.PageSize)
+		home := s.m.VM.Home(va)
+		if home < 0 {
+			continue // first touch: resolved at fault time
+		}
+		s.mapPage(va, home, seg.Mode)
+	}
+}
+
+func (s *System) mapPage(va mem.VA, home, mode int) {
+	pa, err := s.m.Mems[home].AllocFrame(mem.TagReadWrite)
+	if err != nil {
+		panic(fmt.Sprintf("dirnnb: home %d out of frames: %v", home, err))
+	}
+	pte := vm.PTE{PA: pa, Writable: true, Mode: mode}
+	for n := 0; n < s.m.Cfg.Nodes; n++ {
+		s.m.VM.Table(n).Map(va.VPN(), pte)
+	}
+}
+
+// PageFault implements machine.MemSystem: only first-touch pages fault;
+// the faulting node becomes the home.
+func (s *System) PageFault(p *machine.Proc, va mem.VA, write bool) {
+	if !vm.IsShared(va) {
+		panic(fmt.Sprintf("dirnnb: page fault on non-shared address %#x", va))
+	}
+	home := s.m.VM.ClaimHome(va, p.ID())
+	if _, _, ok := s.m.VM.Translate(p.ID(), va); ok {
+		return // another processor mapped it first
+	}
+	s.c.Inc("dirnnb.first_touch_claims")
+	// Find the segment mode for this page.
+	mode := vm.ModeUser
+	for _, seg := range s.m.VM.Segments() {
+		if va >= seg.Base && va < seg.End() {
+			mode = seg.Mode
+			break
+		}
+	}
+	s.mapPage(va, home, mode)
+}
+
+func (s *System) entryFor(block mem.PA) *entry {
+	e, ok := s.dir[block]
+	if !ok {
+		e = &entry{owner: -1, sharers: newNodeSet(s.m.Cfg.Nodes)}
+		s.dir[block] = e
+	}
+	return e
+}
+
+// ServiceMiss implements machine.MemSystem. The whole coherence action is
+// evaluated atomically; its latency — composed from the Table 2 terms —
+// is charged to the requesting processor before it proceeds.
+func (s *System) ServiceMiss(p *machine.Proc, va mem.VA, pa mem.PA, pte vm.PTE, write, upgrade bool) cache.LineState {
+	// Private pages bypass the directory entirely.
+	if pte.Mode == vm.ModePrivate {
+		p.Ctx.Advance(s.m.Cfg.LocalMissCycles)
+		s.c.Inc("dirnnb.private_misses")
+		return cache.LineExclusive
+	}
+
+	block := s.m.Mems[pa.Node()].BlockBase(pa)
+	e := s.entryFor(block)
+	req := p.ID()
+	home := pa.Node()
+	local := req == home
+	net := s.m.Cfg.NetLatency
+
+	var latency sim.Time
+	dirMsgs := 0 // messages the directory sends (5 cycles each)
+	dirRecvBlock := false
+	dirSendBlock := !upgrade && !local // data travels home->requester
+
+	// Recall a dirty copy held by another cache. When the owner is the
+	// home node's own cache, the recall is a local bus transaction with
+	// no network legs.
+	if e.owner >= 0 && e.owner != req {
+		s.c.Inc("dirnnb.dirty_recalls")
+		dirRecvBlock = true
+		if e.owner == home {
+			latency += InvalProc
+		} else {
+			dirMsgs++                        // recall message
+			latency += net + InvalProc + net // round trip to the owner
+		}
+		if write {
+			s.m.Caches[e.owner].Invalidate(block)
+		} else {
+			s.m.Caches[e.owner].Downgrade(block)
+			e.sharers.add(e.owner)
+		}
+		e.owner = -1
+	}
+
+	// Invalidate other sharers on a write. Invalidations fan out in
+	// parallel; the writer waits for the slowest: a network round trip
+	// when any target is remote to the home, a bus transaction when the
+	// only copy is in the home node's own cache.
+	if write {
+		invals, remoteInvals := 0, 0
+		for _, n := range e.sharers.members() {
+			if n == req {
+				continue
+			}
+			s.m.Caches[n].Invalidate(block)
+			e.sharers.remove(n)
+			invals++
+			if n != home {
+				remoteInvals++
+			}
+		}
+		if invals > 0 {
+			s.c.Add("dirnnb.invalidations", uint64(invals))
+			dirMsgs += remoteInvals
+			if remoteInvals > 0 {
+				latency += net + InvalProc + net
+			} else {
+				latency += InvalProc
+			}
+		}
+	}
+
+	// Directory bookkeeping for the requester.
+	if write {
+		e.owner = req
+		e.sharers.clear()
+	} else {
+		e.sharers.add(req)
+	}
+
+	fill := cache.LineShared
+	if write || (e.owner == req) || (e.sharers.count() == 1 && e.sharers.has(req) && e.owner < 0) {
+		// MBus-style ownership: a read with no other cached copies
+		// returns an owned (Exclusive) copy, as on Typhoon (§5.4).
+		fill = cache.LineExclusive
+		if !write {
+			e.owner = req
+			e.sharers.clear()
+		}
+	}
+
+	dirOp := DirBase + DirPerMsg*sim.Time(dirMsgs+1) // +1: the response itself
+	if dirRecvBlock {
+		dirOp += DirBlockRecv
+	}
+	if dirSendBlock {
+		dirOp += DirBlockSend
+	}
+
+	switch {
+	case local && latency == 0 && !upgrade:
+		// Pure local miss: memory responds directly (Table 2 common).
+		latency = s.m.Cfg.LocalMissCycles
+		s.c.Inc("dirnnb.local_misses")
+	case local:
+		// Local access that needed directory work (recall/invalidate).
+		latency += s.m.Cfg.LocalMissCycles + dirOp
+		s.c.Inc("dirnnb.local_dir_misses")
+	case upgrade:
+		// Ownership-only request: no data transfer, no fill cost.
+		latency += RemoteIssue + net + dirOp + net
+		s.c.Inc("dirnnb.remote_upgrades")
+	default:
+		latency += RemoteIssue + net + dirOp + net + RemoteFill
+		s.c.Inc("dirnnb.remote_misses")
+	}
+	s.c.Add("dirnnb.dir_messages", uint64(dirMsgs+1))
+	p.Ctx.Advance(latency)
+	return fill
+}
+
+// Evicted implements machine.MemSystem: it updates the directory for the
+// displaced block and charges the Table 2 replacement cost when the
+// victim's home is remote.
+func (s *System) Evicted(p *machine.Proc, victim mem.PA, state cache.LineState) {
+	e, ok := s.dir[victim]
+	if ok {
+		e.sharers.remove(p.ID())
+		if e.owner == p.ID() {
+			e.owner = -1
+		}
+	}
+	if victim.Node() != p.ID() {
+		if state == cache.LineExclusive {
+			p.Ctx.AdvanceAtomic(ReplExclusive)
+			s.c.Inc("dirnnb.repl_exclusive")
+		} else {
+			p.Ctx.AdvanceAtomic(ReplShared)
+			s.c.Inc("dirnnb.repl_shared")
+		}
+	}
+}
+
+// nodeSet is a bit set of node IDs.
+type nodeSet []uint64
+
+func newNodeSet(n int) nodeSet { return make(nodeSet, (n+63)/64) }
+
+func (ns nodeSet) add(n int)      { ns[n/64] |= 1 << (n % 64) }
+func (ns nodeSet) remove(n int)   { ns[n/64] &^= 1 << (n % 64) }
+func (ns nodeSet) has(n int) bool { return ns[n/64]&(1<<(n%64)) != 0 }
+func (ns nodeSet) clear() {
+	for i := range ns {
+		ns[i] = 0
+	}
+}
+func (ns nodeSet) count() int {
+	c := 0
+	for _, w := range ns {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+func (ns nodeSet) members() []int {
+	var out []int
+	for i, w := range ns {
+		for w != 0 {
+			b := i*64 + bits.TrailingZeros64(w)
+			out = append(out, b)
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package dirnnb
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+func newM(t *testing.T, nodes int) (*machine.Machine, *System) {
+	t.Helper()
+	m := machine.New(machine.Config{
+		Nodes:     nodes,
+		CacheSize: 4096,
+		Seed:      1,
+	})
+	s := New(m)
+	return m, s
+}
+
+// run executes body SPMD and fails the test on simulator errors.
+func run(t *testing.T, m *machine.Machine, body func(p *machine.Proc)) machine.Result {
+	t.Helper()
+	res, err := m.Run(body)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestLocalMissLatency(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	run(t, m, func(p *machine.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		t0 := p.Ctx.Time()
+		p.ReadU64(seg.At(0))
+		// 1 instruction + 25 TLB miss + 29 local miss.
+		if got := p.Ctx.Time() - t0; got != 1+25+29 {
+			t.Errorf("local cold read cost %d, want 55", got)
+		}
+		t1 := p.Ctx.Time()
+		p.ReadU64(seg.At(8)) // same block, same page: pure cache hit
+		if got := p.Ctx.Time() - t1; got != 1 {
+			t.Errorf("cached read cost %d, want 1", got)
+		}
+	})
+}
+
+func TestRemoteCleanReadMissLatency(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	run(t, m, func(p *machine.Proc) {
+		if p.ID() != 1 {
+			return
+		}
+		t0 := p.Ctx.Time()
+		p.ReadU64(seg.At(0))
+		// 1 + TLB 25 + [23 issue + 11 net + dirOp(16 + 5*1 + 11 blockSend)
+		// + 11 net + 34 fill] = 1 + 25 + 111.
+		if got := p.Ctx.Time() - t0; got != 1+25+111 {
+			t.Errorf("remote clean read cost %d, want %d", got, 1+25+111)
+		}
+	})
+}
+
+func TestReadAfterRemoteWriteSeesValue(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	var got uint64
+	run(t, m, func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.WriteU64(seg.At(0), 777)
+		}
+		p.Barrier()
+		if p.ID() == 1 {
+			got = p.ReadU64(seg.At(0))
+		}
+	})
+	if got != 777 {
+		t.Fatalf("node 1 read %d, want 777", got)
+	}
+}
+
+func TestWriteInvalidatesRemoteSharers(t *testing.T) {
+	m, _ := newM(t, 4)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	vals := make([]uint64, 4)
+	res := run(t, m, func(p *machine.Proc) {
+		p.ReadU64(seg.At(0)) // everyone caches the block
+		p.Barrier()
+		if p.ID() == 0 {
+			p.WriteU64(seg.At(0), 42)
+		}
+		p.Barrier()
+		vals[p.ID()] = p.ReadU64(seg.At(0)) // sharers must refetch
+	})
+	for n, v := range vals {
+		if v != 42 {
+			t.Errorf("node %d read %d, want 42", n, v)
+		}
+	}
+	if res.Counters.Get("dirnnb.invalidations") == 0 {
+		t.Error("write to shared block produced no invalidations")
+	}
+}
+
+func TestDirtyRecallOnRemoteRead(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	var got uint64
+	res := run(t, m, func(p *machine.Proc) {
+		if p.ID() == 1 {
+			p.WriteU64(seg.At(0), 99) // node 1 holds the block dirty
+		}
+		p.Barrier()
+		if p.ID() == 0 {
+			got = p.ReadU64(seg.At(0)) // home must recall from node 1
+		}
+	})
+	if got != 99 {
+		t.Fatalf("home read %d, want 99", got)
+	}
+	if res.Counters.Get("dirnnb.dirty_recalls") == 0 {
+		t.Error("no dirty recall recorded")
+	}
+}
+
+func TestUpgradeChargesOwnershipOnly(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	run(t, m, func(p *machine.Proc) {
+		// Both nodes read first so node 1 holds the block Shared.
+		p.ReadU64(seg.At(0))
+		p.Barrier()
+		if p.ID() != 1 {
+			return
+		}
+		t0 := p.Ctx.Time()
+		p.WriteU64(seg.At(0), 5)
+		cost := p.Ctx.Time() - t0
+		// Upgrade: 1 + 23 + 11 + dirOp + 11, no 34 fill. The only
+		// sharer to invalidate is node 0, the home itself: a local bus
+		// transaction (8 cycles), not a network round trip.
+		want := sim.Time(1) + RemoteIssue + 11 + (DirBase + DirPerMsg) + 11 + InvalProc
+		if cost != want {
+			t.Errorf("upgrade cost %d, want %d", cost, want)
+		}
+	})
+}
+
+func TestExclusiveFillOnUnsharedRead(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	run(t, m, func(p *machine.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		p.ReadU64(seg.At(0))
+		t0 := p.Ctx.Time()
+		p.WriteU64(seg.At(0), 1) // E-state: silent write, 1 cycle
+		if got := p.Ctx.Time() - t0; got != 1 {
+			t.Errorf("write after unshared read cost %d, want 1 (E-state)", got)
+		}
+	})
+}
+
+func TestPrivatePagesBypassDirectory(t *testing.T) {
+	m, _ := newM(t, 2)
+	var va mem.VA
+	run(t, m, func(p *machine.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		va = p.Machine().AllocPrivate(0, mem.PageSize)
+		t0 := p.Ctx.Time()
+		p.WriteU64(va, 3)
+		// 1 + TLB 25 + 29 local miss, Exclusive fill: next write 1 cycle.
+		if got := p.Ctx.Time() - t0; got != 55 {
+			t.Errorf("private cold write cost %d, want 55", got)
+		}
+		t1 := p.Ctx.Time()
+		p.WriteU64(va, 4)
+		if got := p.Ctx.Time() - t1; got != 1 {
+			t.Errorf("private warm write cost %d, want 1", got)
+		}
+	})
+}
+
+func TestRoundRobinPlacementSpreadsHomes(t *testing.T) {
+	m, _ := newM(t, 4)
+	seg := m.AllocShared("arr", 8*mem.PageSize, vm.RoundRobin{}, vm.ModeUser)
+	counts := make(map[int]int)
+	for i := 0; i < 8; i++ {
+		counts[m.VM.Home(seg.At(uint64(i*mem.PageSize)))]++
+	}
+	for n := 0; n < 4; n++ {
+		if counts[n] != 2 {
+			t.Fatalf("node %d homes %d pages, want 2", n, counts[n])
+		}
+	}
+}
+
+func TestFirstTouchPlacement(t *testing.T) {
+	m, _ := newM(t, 2)
+	seg := m.AllocShared("ft", 2*mem.PageSize, vm.FirstTouch{}, vm.ModeUser)
+	res := run(t, m, func(p *machine.Proc) {
+		// Node n touches page n first.
+		p.WriteU64(seg.At(uint64(p.ID()*mem.PageSize)), uint64(p.ID()))
+		p.Barrier()
+		// After first touch, the page is home-local: a capacity-evicted
+		// reread would be a local miss. Just verify values and homes.
+		if got := p.ReadU64(seg.At(uint64(p.ID() * mem.PageSize))); got != uint64(p.ID()) {
+			t.Errorf("node %d read %d", p.ID(), got)
+		}
+	})
+	if m.VM.Home(seg.At(0)) != 0 || m.VM.Home(seg.At(mem.PageSize)) != 1 {
+		t.Errorf("homes = %d,%d; want 0,1", m.VM.Home(seg.At(0)), m.VM.Home(seg.At(mem.PageSize)))
+	}
+	if res.Counters.Get("dirnnb.first_touch_claims") != 2 {
+		t.Errorf("claims = %d, want 2", res.Counters.Get("dirnnb.first_touch_claims"))
+	}
+}
+
+func TestEvictionChargesReplacementAndCleansDirectory(t *testing.T) {
+	// Cache: 4096 bytes, 4-way, 32B lines -> 32 sets; addresses 1024
+	// bytes apart collide in one set.
+	m, s := newM(t, 2)
+	seg := m.AllocShared("big", 16*mem.PageSize, vm.OnNode{Node: 0}, vm.ModeUser)
+	res := run(t, m, func(p *machine.Proc) {
+		if p.ID() != 1 {
+			return
+		}
+		// Write 5 conflicting blocks: the 5th must evict a dirty one.
+		for i := 0; i < 5; i++ {
+			p.WriteU64(seg.At(uint64(i*1024)), uint64(i))
+		}
+	})
+	if res.Counters.Get("dirnnb.repl_exclusive") == 0 {
+		t.Error("no exclusive replacement charged")
+	}
+	// Directory must no longer list node 1 as owner of the victim.
+	owners := 0
+	for _, e := range s.dir {
+		if e.owner == 1 {
+			owners++
+		}
+	}
+	if owners != 4 {
+		t.Errorf("node 1 owns %d blocks in directory, want 4 after eviction", owners)
+	}
+}
+
+// TestSequentialEquivalence runs a small parallel reduction and checks
+// the result against the serial computation — the end-to-end coherence
+// correctness check.
+func TestSequentialEquivalence(t *testing.T) {
+	const nodes, elems = 4, 256
+	m, _ := newM(t, nodes)
+	data := m.AllocShared("data", elems*8, vm.RoundRobin{}, vm.ModeUser)
+	partial := m.AllocShared("partial", nodes*8, vm.OnNode{Node: 0}, vm.ModeUser)
+	var total uint64
+	run(t, m, func(p *machine.Proc) {
+		// Each node initialises its stripe.
+		for i := p.ID(); i < elems; i += nodes {
+			p.WriteU64(data.At(uint64(i*8)), uint64(i))
+		}
+		p.Barrier()
+		// Each node sums a different stripe (forcing remote reads).
+		var sum uint64
+		for i := (p.ID() + 1) % nodes; i < elems; i += nodes {
+			sum += p.ReadU64(data.At(uint64(i * 8)))
+		}
+		p.WriteU64(partial.At(uint64(p.ID()*8)), sum)
+		p.Barrier()
+		if p.ID() == 0 {
+			for n := 0; n < nodes; n++ {
+				total += p.ReadU64(partial.At(uint64(n * 8)))
+			}
+		}
+	})
+	want := uint64(elems * (elems - 1) / 2)
+	if total != want {
+		t.Fatalf("parallel sum = %d, want %d", total, want)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	exec := func() sim.Time {
+		m, _ := newM(t, 4)
+		seg := m.AllocShared("x", 4*mem.PageSize, vm.RoundRobin{}, vm.ModeUser)
+		res := run(t, m, func(p *machine.Proc) {
+			for i := 0; i < 64; i++ {
+				idx := uint64(((i*7 + p.ID()*13) % 512) * 8)
+				if i%3 == 0 {
+					p.WriteU64(seg.At(idx), uint64(i))
+				} else {
+					p.ReadU64(seg.At(idx))
+				}
+			}
+			p.Barrier()
+		})
+		return res.Cycles
+	}
+	a, b := exec(), exec()
+	if a != b {
+		t.Fatalf("nondeterministic: %d vs %d cycles", a, b)
+	}
+}

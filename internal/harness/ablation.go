@@ -1,0 +1,363 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/blizzard"
+	"github.com/tempest-sim/tempest/internal/dirnnb"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/stats"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Label  string
+	Cycles sim.Time
+	Extra  map[string]uint64
+}
+
+// AblationBlockSize sweeps the coherence-block size on Typhoon/Stache
+// (the paper fixes 32 bytes but defines blocks as 32-128 bytes, §2.4):
+// larger blocks amortise handler overhead against false sharing and
+// wasted transfer.
+func AblationBlockSize(scale Scale) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, bs := range []int{32, 64, 128} {
+		cfg := MachineConfig(scale, 0)
+		cfg.BlockSize = bs
+		app, err := MakeApp("em3d", scale, SetSmall)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := Run(cfg, SysStache, app)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("block=%dB", bs),
+			Cycles: rr.Res.ROICycles,
+			Extra: map[string]uint64{
+				"faults": rr.Res.Counters.Get("stache.remote_faults"),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationPlacement quantifies paper §6's discussion that careful data
+// placement recovers much of DirNNB's disadvantage: Ocean under DirNNB
+// with the naive round-robin placement of a shared malloc versus
+// owner-aligned bands, against Typhoon/Stache which needs no placement.
+func AblationPlacement(scale Scale) ([]AblationRow, error) {
+	cacheKB := 4
+	mcfg := MachineConfig(scale, cacheKB<<10)
+	ocfg := ocean.Small()
+	if scale != ScalePaper {
+		ocfg.N = 66
+	}
+
+	run := func(label string, sys System, owner bool) (AblationRow, error) {
+		c := ocfg
+		c.OwnerPlaced = owner
+		app := ocean.New(c)
+		rr, err := Run(mcfg, sys, app)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{Label: label, Cycles: rr.Res.ROICycles}, nil
+	}
+	var rows []AblationRow
+	for _, c := range []struct {
+		label string
+		sys   System
+		owner bool
+	}{
+		{"dirnnb/naive", SysDirNNB, false},
+		{"dirnnb/owner-placed", SysDirNNB, true},
+		{"typhoon-stache/naive", SysStache, false},
+		{"typhoon-stache/owner-placed", SysStache, true},
+	} {
+		row, err := run(c.label, c.sys, c.owner)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationStacheBudget sweeps the per-node stache-page budget to expose
+// the FIFO page-replacement machinery (§3: "replacements are rare" with
+// ample memory; a tight budget makes them common).
+func AblationStacheBudget(scale Scale) ([]AblationRow, error) {
+	ecfg := EM3DConfig(scale, SetSmall)
+	mcfg := MachineConfig(scale, 0)
+	var rows []AblationRow
+	for _, budget := range []int{0, 16, 4, 2} {
+		m := machine.New(mcfg)
+		var opts []stache.Option
+		if budget > 0 {
+			opts = append(opts, stache.WithMaxPages(budget))
+		}
+		st := stache.New(opts...)
+		typhoon.New(m, st)
+		app := em3d.New(ecfg)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Verify(m); err != nil {
+			return nil, fmt.Errorf("harness: budget=%d: %w", budget, err)
+		}
+		label := "unbounded"
+		if budget > 0 {
+			label = fmt.Sprintf("%d pages", budget)
+		}
+		rows = append(rows, AblationRow{
+			Label:  label,
+			Cycles: res.ROICycles,
+			Extra: map[string]uint64{
+				"replacements": res.Counters.Get("stache.replacements"),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationNetLatency sweeps the network latency (Table 2's 11 cycles is
+// "probably optimistic for future systems" and deliberately favours
+// DirNNB; this quantifies the sensitivity the paper mentions).
+func AblationNetLatency(scale Scale) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, lat := range []sim.Time{11, 44, 88} {
+		for _, sys := range []System{SysDirNNB, SysStache} {
+			cfg := MachineConfig(scale, 4<<10)
+			cfg.NetLatency = lat
+			app, err := MakeApp("ocean", scale, SetSmall)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := Run(cfg, sys, app)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Label:  fmt.Sprintf("net=%d/%s", lat, sys),
+				Cycles: rr.Res.ROICycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationFirstTouch compares DirNNB's default round-robin placement
+// with first-touch page placement on MP3D (paper §6 cites Stenstrom et
+// al.'s first-touch result). First touch lands each particle page on the
+// node that initialises it — its owner.
+func AblationFirstTouch(scale Scale) ([]AblationRow, error) {
+	mcfg := MachineConfig(scale, 4<<10)
+	var rows []AblationRow
+	for _, sys := range []System{SysDirNNB, SysStache} {
+		app, err := MakeApp("ocean", scale, SetSmall)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := Run(mcfg, sys, app)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: "round-robin/" + string(sys), Cycles: rr.Res.ROICycles})
+	}
+	// First-touch DirNNB: owner-placed is the steady-state equivalent
+	// (the initialising processor is the owner).
+	c := ocean.Small()
+	if scale != ScalePaper {
+		c.N = 66
+	}
+	c.OwnerPlaced = true
+	m := machine.New(mcfg)
+	dirnnb.New(m)
+	app := ocean.New(c)
+	app.Setup(m)
+	res, err := m.Run(app.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Verify(m); err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Label: "first-touch/dirnnb", Cycles: res.ROICycles})
+	return rows, nil
+}
+
+// RenderAblation prints an ablation sweep.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) error {
+	t := &stats.Table{Title: title, Header: []string{"config", "cycles", "notes"}}
+	for _, r := range rows {
+		notes := ""
+		for k, v := range r.Extra {
+			notes += fmt.Sprintf("%s=%d ", k, v)
+		}
+		t.AddRow(r.Label, stats.D(uint64(r.Cycles)), notes)
+	}
+	return t.Render(w)
+}
+
+// AblationEM3DProtocols reproduces the paper §4 argument chain at one
+// remote-edge fraction: transparent shared memory needs four messages
+// per remote datum per iteration, check-in annotations cut that to
+// three by replacing the invalidation round trip, and the custom update
+// protocol reaches the minimum of one.
+func AblationEM3DProtocols(scale Scale, pctRemote int) ([]AblationRow, error) {
+	ecfg := EM3DConfig(scale, SetSmall)
+	ecfg.PctRemote = pctRemote
+	mcfg := MachineConfig(scale, 0)
+
+	netMsgs := func(res machine.Result) uint64 {
+		return res.Net.Packets[0] + res.Net.Packets[1] - res.Net.LocalSends
+	}
+	var rows []AblationRow
+
+	// DirNNB (hardware messages are not modeled as packets; report cycles).
+	dir, err := runEM3DOn(mcfg, SysDirNNB, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Label: "dirnnb", Cycles: dir.roi})
+
+	// Plain Stache.
+	{
+		m := machine.New(mcfg)
+		st := stache.New()
+		typhoon.New(m, st)
+		app := em3d.New(ecfg)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Verify(m); err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: "typhoon-stache", Cycles: res.ROICycles,
+			Extra: map[string]uint64{"net-messages": netMsgs(res)}})
+	}
+	// Stache with check-in annotations.
+	{
+		m := machine.New(mcfg)
+		st := stache.New()
+		typhoon.New(m, st)
+		app := em3d.NewCheckInApp(ecfg, st)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Verify(m); err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: "typhoon-stache+checkin", Cycles: res.ROICycles,
+			Extra: map[string]uint64{"net-messages": netMsgs(res)}})
+	}
+	// Custom update protocol.
+	{
+		m := machine.New(mcfg)
+		u := em3d.NewUpdateProtocol()
+		typhoon.New(m, u)
+		app := em3d.NewUpdateApp(ecfg, u)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Verify(m); err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: "typhoon-update", Cycles: res.ROICycles,
+			Extra: map[string]uint64{"net-messages": netMsgs(res)}})
+	}
+	return rows, nil
+}
+
+// AblationMigratory measures the migratory-sharing optimisation (a
+// user-level protocol-policy extension, off by default) on MP3D, whose
+// scattered read-modify-writes are the pattern it targets.
+func AblationMigratory(scale Scale) ([]AblationRow, error) {
+	mcfg := MachineConfig(scale, 64<<10)
+	var rows []AblationRow
+	for _, mig := range []bool{false, true} {
+		m := machine.New(mcfg)
+		var opts []stache.Option
+		label := "stache/plain"
+		if mig {
+			opts = append(opts, stache.WithMigratory())
+			label = "stache/migratory"
+		}
+		st := stache.New(opts...)
+		typhoon.New(m, st)
+		app, err := MakeApp("mp3d", scale, SetSmall)
+		if err != nil {
+			return nil, err
+		}
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Verify(m); err != nil {
+			return nil, err
+		}
+		if err := st.CheckInvariants(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: label, Cycles: res.ROICycles,
+			Extra: map[string]uint64{
+				"migratory-grants": res.Counters.Get("stache.migratory_grants"),
+				"upgrades":         res.Counters.Get("stache.upgrades"),
+			}})
+	}
+	return rows, nil
+}
+
+// AblationSoftwareTempest runs the same benchmark and the same
+// unmodified Stache library on Typhoon and on the software Tempest
+// implementation (the paper's announced "native version for existing
+// machines", later published as Blizzard), quantifying what Typhoon's
+// custom hardware buys.
+func AblationSoftwareTempest(scale Scale) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, name := range []string{"ocean", "em3d"} {
+		for _, software := range []bool{false, true} {
+			m := machine.New(MachineConfig(scale, 16<<10))
+			st := stache.New()
+			label := name + "/typhoon"
+			if software {
+				blizzard.New(m, st, blizzard.Config{})
+				label = name + "/software"
+			} else {
+				typhoon.New(m, st)
+			}
+			app, err := MakeApp(name, scale, SetSmall)
+			if err != nil {
+				return nil, err
+			}
+			app.Setup(m)
+			res, err := m.Run(app.Body)
+			if err != nil {
+				return nil, err
+			}
+			if err := app.Verify(m); err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{Label: label, Cycles: res.ROICycles})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tempest-sim/tempest/internal/apps"
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+)
+
+// Fig4Point is one x-position of Figure 4: the cycles-per-edge of all
+// three systems at a given remote-edge percentage.
+type Fig4Point struct {
+	PctRemote int
+	// Cycles per graph-edge update in the measured region, per system.
+	DirNNB, Stache, Update float64
+}
+
+// Fig4Options selects the sweep.
+type Fig4Options struct {
+	Scale Scale
+	// Set selects the data set; the paper uses the large set.
+	Set DataSet
+	// Pcts are the remote-edge percentages; nil = 0..50 step 10.
+	Pcts []int
+}
+
+// Figure4 reproduces the paper's Figure 4: EM3D cycles per edge versus
+// the percentage of non-local edges, for DirNNB, Typhoon/Stache, and the
+// custom Typhoon update protocol.
+func Figure4(opts Fig4Options) ([]Fig4Point, error) {
+	pcts := opts.Pcts
+	if pcts == nil {
+		pcts = []int{0, 10, 20, 30, 40, 50}
+	}
+	set := opts.Set
+	if set == "" {
+		set = SetLarge
+	}
+	mcfg := MachineConfig(opts.Scale, 0)
+	var out []Fig4Point
+	for _, pct := range pcts {
+		ecfg := EM3DConfig(opts.Scale, set)
+		ecfg.PctRemote = pct
+
+		perEdge := func(roi sim.Time, edgesPerProcPerIter int) float64 {
+			return float64(roi) / float64(edgesPerProcPerIter*ecfg.Iters)
+		}
+		pt := Fig4Point{PctRemote: pct}
+
+		dirRes, err := runEM3DOn(mcfg, SysDirNNB, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.DirNNB = perEdge(dirRes.roi, dirRes.edges)
+
+		stRes, err := runEM3DOn(mcfg, SysStache, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.Stache = perEdge(stRes.roi, stRes.edges)
+
+		upRes, err := runEM3DOn(mcfg, SysUpdate, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.Update = perEdge(upRes.roi, upRes.edges)
+
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+type em3dRun struct {
+	roi   sim.Time
+	edges int
+}
+
+// runEM3DOn runs one EM3D instance on one system and reports the
+// measured region plus the per-processor edges per iteration.
+func runEM3DOn(mcfg machine.Config, system System, ecfg em3d.Config) (em3dRun, error) {
+	if system == SysUpdate {
+		rr, err := RunEM3DUpdate(mcfg, ecfg)
+		if err != nil {
+			return em3dRun{}, err
+		}
+		per := apps.CeilDiv(ecfg.TotalNodes/2, mcfg.Nodes)
+		if per == 0 {
+			per = 1
+		}
+		return em3dRun{roi: rr.Res.ROICycles, edges: 2 * per * ecfg.Degree}, nil
+	}
+	app := em3d.New(ecfg)
+	rr, err := Run(mcfg, system, app)
+	if err != nil {
+		return em3dRun{}, err
+	}
+	return em3dRun{roi: rr.Res.ROICycles, edges: app.EdgesPerProcPerIter()}, nil
+}
+
+// RenderFigure4 prints the Figure 4 series.
+func RenderFigure4(w io.Writer, pts []Fig4Point) error {
+	t := &stats.Table{
+		Title:  "Figure 4: EM3D cycles per edge vs. percent non-local edges",
+		Header: []string{"% remote", "DirNNB", "Typhoon/Stache", "Typhoon/Update"},
+	}
+	for _, p := range pts {
+		t.AddRow(fmt.Sprintf("%d", p.PctRemote),
+			stats.F(p.DirNNB), stats.F(p.Stache), stats.F(p.Update))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,195 @@
+// Package harness defines the paper's experiments: one entry per table
+// and figure of the evaluation (§6), plus the ablations DESIGN.md calls
+// out. Each experiment builds machines, runs benchmarks on both target
+// systems, verifies results, and renders the same rows or series the
+// paper reports.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/apps"
+	"github.com/tempest-sim/tempest/internal/apps/appbt"
+	"github.com/tempest-sim/tempest/internal/apps/barnes"
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/apps/mp3d"
+	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/dirnnb"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// System selects the simulated target.
+type System string
+
+// Target systems.
+const (
+	SysDirNNB System = "dirnnb"
+	SysStache System = "typhoon-stache"
+	SysUpdate System = "typhoon-update" // EM3D only
+)
+
+// RunResult is one benchmark execution.
+type RunResult struct {
+	System System
+	App    string
+	Res    machine.Result
+}
+
+// Run executes app on the given system and verifies the result. When
+// system is SysUpdate the app must be an *em3d.UpdateApp placeholder
+// built by the caller via BuildUpdate.
+func Run(cfg machine.Config, system System, app apps.App) (RunResult, error) {
+	m := machine.New(cfg)
+	var st *stache.Protocol
+	switch system {
+	case SysDirNNB:
+		dirnnb.New(m)
+	case SysStache:
+		st = stache.New()
+		typhoon.New(m, st)
+	default:
+		return RunResult{}, fmt.Errorf("harness: unknown system %q (want dirnnb or typhoon-stache; the custom protocol runs via RunEM3DUpdate)", system)
+	}
+	app.Setup(m)
+	res, err := m.Run(app.Body)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("harness: %s on %s: %w", app.Name(), system, err)
+	}
+	if st != nil {
+		if err := st.CheckInvariants(); err != nil {
+			return RunResult{}, fmt.Errorf("harness: %s on %s: %w", app.Name(), system, err)
+		}
+	}
+	if err := app.Verify(m); err != nil {
+		return RunResult{}, fmt.Errorf("harness: %s on %s: %w", app.Name(), system, err)
+	}
+	return RunResult{System: system, App: app.Name(), Res: res}, nil
+}
+
+// RunEM3DUpdate executes EM3D under the custom delayed-update protocol.
+func RunEM3DUpdate(cfg machine.Config, ecfg em3d.Config) (RunResult, error) {
+	m := machine.New(cfg)
+	upd := em3d.NewUpdateProtocol()
+	typhoon.New(m, upd)
+	app := em3d.NewUpdateApp(ecfg, upd)
+	app.Setup(m)
+	res, err := m.Run(app.Body)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("harness: em3d-update: %w", err)
+	}
+	if err := app.Verify(m); err != nil {
+		return RunResult{}, fmt.Errorf("harness: em3d-update: %w", err)
+	}
+	return RunResult{System: SysUpdate, App: app.Name(), Res: res}, nil
+}
+
+// Scale selects workload sizes.
+type Scale string
+
+// Workload scales. Paper scales use Table 3 sizes on 32 nodes; reduced
+// scales preserve the working-set-versus-cache relationships at a size
+// that runs in seconds on a laptop.
+const (
+	ScalePaper   Scale = "paper"
+	ScaleReduced Scale = "reduced"
+)
+
+// DataSet selects the small or large column of Table 3.
+type DataSet string
+
+// Table 3 columns.
+const (
+	SetSmall DataSet = "small"
+	SetLarge DataSet = "large"
+)
+
+// BenchNames lists the five benchmarks in the paper's Figure 3 order.
+var BenchNames = []string{"appbt", "barnes", "mp3d", "ocean", "em3d"}
+
+// MakeApp builds a benchmark instance by name, scale, and data set.
+func MakeApp(name string, scale Scale, set DataSet) (apps.App, error) {
+	paper := scale == ScalePaper
+	large := set == SetLarge
+	switch name {
+	case "appbt":
+		c := appbt.Small()
+		if large {
+			c = appbt.Large()
+		}
+		if !paper {
+			c.N = map[bool]int{false: 8, true: 20}[large]
+		}
+		return appbt.New(c), nil
+	case "barnes":
+		c := barnes.Small()
+		if large {
+			c = barnes.Large()
+		}
+		if !paper {
+			c.Bodies = map[bool]int{false: 256, true: 640}[large]
+		}
+		return barnes.New(c), nil
+	case "mp3d":
+		c := mp3d.Small()
+		if large {
+			c = mp3d.Large()
+		}
+		if !paper {
+			c.Mols = map[bool]int{false: 2000, true: 6000}[large]
+			c.Cells = map[bool]int{false: 8, true: 10}[large]
+		}
+		return mp3d.New(c), nil
+	case "ocean":
+		c := ocean.Small()
+		if large {
+			c = ocean.Large()
+		}
+		if !paper {
+			c.N = map[bool]int{false: 66, true: 192}[large]
+		}
+		return ocean.New(c), nil
+	case "em3d":
+		c := em3d.Small()
+		if large {
+			c = em3d.Large()
+		}
+		if !paper {
+			c.TotalNodes = map[bool]int{false: 8000, true: 20000}[large]
+			c.Degree = map[bool]int{false: 5, true: 8}[large]
+		}
+		return em3d.New(c), nil
+	}
+	return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+}
+
+// EM3DConfig returns the em3d configuration for a scale and data set
+// (Figure 4 needs the raw config to sweep the remote-edge fraction).
+func EM3DConfig(scale Scale, set DataSet) em3d.Config {
+	c := em3d.Small()
+	if set == SetLarge {
+		c = em3d.Large()
+	}
+	if scale != ScalePaper {
+		if set == SetLarge {
+			c.TotalNodes, c.Degree = 20000, 8
+		} else {
+			c.TotalNodes, c.Degree = 8000, 5
+		}
+	}
+	return c
+}
+
+// MachineConfig returns the Table 2 machine for a scale: 32 nodes at
+// paper scale, 8 reduced.
+func MachineConfig(scale Scale, cacheBytes int) machine.Config {
+	cfg := machine.DefaultConfig()
+	if scale != ScalePaper {
+		cfg.Nodes = 8
+	}
+	if cacheBytes > 0 {
+		cfg.CacheSize = cacheBytes
+	}
+	return cfg
+}

@@ -1,0 +1,284 @@
+// Package machine assembles the simulated parallel computer both target
+// systems share: workstation-like nodes (CPU + cache + TLB + DRAM) on a
+// point-to-point network with a hardware barrier (paper §5, Figure 1, and
+// the "Common" rows of Table 2). The memory system behind a cache miss is
+// pluggable: internal/typhoon provides the Tempest/Typhoon node and
+// internal/dirnnb the all-hardware directory baseline.
+package machine
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/cache"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/network"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+// Config carries the Table 2 simulation parameters common to both target
+// systems, plus simulator housekeeping (quantum, seed, DRAM budget).
+type Config struct {
+	// Nodes is the number of processing nodes (the paper simulates 32).
+	Nodes int
+	// CacheSize is the CPU cache capacity in bytes (Figure 3 sweeps 4 KB
+	// to 256 KB).
+	CacheSize int
+	// CacheWays is the CPU cache associativity (Table 2: 4-way).
+	CacheWays int
+	// BlockSize is the coherence-block and cache-line size (Table 2: 32).
+	BlockSize int
+	// TLBEntries is the CPU (and NP) TLB capacity (Table 2: 64).
+	TLBEntries int
+
+	// LocalMissCycles is a cache miss satisfied from local DRAM (29).
+	LocalMissCycles sim.Time
+	// TLBMissCycles is the TLB refill penalty (25).
+	TLBMissCycles sim.Time
+	// NetLatency is the end-to-end network latency (11).
+	NetLatency sim.Time
+	// BarrierLatency is the hardware barrier latency (11).
+	BarrierLatency sim.Time
+
+	// MemPagesPerNode bounds each node's DRAM in 4 KB frames. Zero means
+	// unbounded. Stache replacement only triggers under a bound.
+	MemPagesPerNode int
+	// Quantum is the scheduler run-ahead bound; zero keeps the default.
+	Quantum sim.Time
+	// Seed drives random cache replacement.
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 2 parameters: 32 nodes, 256 KB 4-way
+// CPU caches, 32-byte blocks, 64-entry TLBs, 29/25/11/11-cycle latencies.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:           32,
+		CacheSize:       256 << 10,
+		CacheWays:       4,
+		BlockSize:       32,
+		TLBEntries:      64,
+		LocalMissCycles: 29,
+		TLBMissCycles:   25,
+		NetLatency:      11,
+		BarrierLatency:  11,
+		Seed:            1,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.Nodes == 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = d.CacheSize
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = d.CacheWays
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = d.BlockSize
+	}
+	if c.TLBEntries == 0 {
+		c.TLBEntries = d.TLBEntries
+	}
+	if c.LocalMissCycles == 0 {
+		c.LocalMissCycles = d.LocalMissCycles
+	}
+	if c.TLBMissCycles == 0 {
+		c.TLBMissCycles = d.TLBMissCycles
+	}
+	if c.NetLatency == 0 {
+		c.NetLatency = d.NetLatency
+	}
+	if c.BarrierLatency == 0 {
+		c.BarrierLatency = d.BarrierLatency
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+}
+
+// MemSystem is the pluggable memory system behind the CPU cache: the
+// Typhoon node (tags + NP + user-level protocol) or the DirNNB hardware
+// directory.
+type MemSystem interface {
+	// Name identifies the system in reports ("Typhoon/Stache", "DirNNB").
+	Name() string
+
+	// SetupSegment prepares a freshly allocated shared segment: DirNNB
+	// eagerly places frames at each page's home; Typhoon protocols build
+	// home pages and directories.
+	SetupSegment(seg *vm.Segment)
+
+	// PageFault services an access to a page unmapped on p's node. When
+	// it returns, the reference is retried; the handler must have
+	// installed a translation (or the retry bound aborts the run).
+	PageFault(p *Proc, va mem.VA, write bool)
+
+	// ServiceMiss services the bus transaction of a reference that
+	// missed (or, with upgrade set, hit a Shared line it must own to
+	// write). It blocks in simulated time until the access may proceed
+	// and returns the cache state to install. Returning cache.LineInvalid
+	// asks the machine to retry the whole reference, e.g. after a block
+	// access fault handler remapped or re-tagged the page.
+	ServiceMiss(p *Proc, va mem.VA, pa mem.PA, pte vm.PTE, write, upgrade bool) cache.LineState
+
+	// Evicted tells the system a valid line left p's cache so it can
+	// charge replacement costs and update hardware directory state.
+	Evicted(p *Proc, victim mem.PA, state cache.LineState)
+
+	// Counters exposes the system's event counts for reports.
+	Counters() *stats.Counters
+}
+
+// Machine is one simulated target system.
+type Machine struct {
+	Cfg Config
+	Eng *sim.Engine
+	Net *network.Network
+	VM  *vm.System
+
+	Mems   []*mem.Memory
+	Caches []*cache.Cache
+	TLBs   []*cache.TLB
+	Bar    *sim.Barrier
+
+	Sys   MemSystem
+	Procs []*Proc
+
+	// PerRefOverhead is charged on every shared-segment reference, even
+	// cache hits — the inline software access-check cost of a software
+	// Tempest implementation (zero on Typhoon, whose RTLB checks tags in
+	// hardware off the critical path).
+	PerRefOverhead sim.Time
+	// stalls accumulates protocol-handler cycles stolen from each
+	// node's compute processor (software Tempest runs handlers on the
+	// main CPU); the processor absorbs them at its next reference.
+	stalls []sim.Time
+
+	roiStart, roiEnd sim.Time
+	ran              bool
+}
+
+// New builds a machine from cfg. A MemSystem must be attached with
+// SetMemSystem before allocating shared segments or running.
+func New(cfg Config) *Machine {
+	cfg.applyDefaults()
+	eng := sim.NewEngine(sim.WithQuantum(cfg.Quantum))
+	m := &Machine{
+		Cfg: cfg,
+		Eng: eng,
+		Net: network.New(eng, network.Config{Nodes: cfg.Nodes, Latency: cfg.NetLatency}),
+		VM:  vm.NewSystem(cfg.Nodes),
+		Bar: sim.NewBarrier(eng, cfg.Nodes, cfg.BarrierLatency),
+	}
+	m.stalls = make([]sim.Time, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		m.Mems = append(m.Mems, mem.New(i, mem.Config{
+			BlockSize: cfg.BlockSize,
+			MaxFrames: cfg.MemPagesPerNode,
+		}))
+		m.Caches = append(m.Caches, cache.New(cfg.CacheSize, cfg.CacheWays, cfg.BlockSize, cfg.Seed+uint64(i)*0x9E37))
+		m.TLBs = append(m.TLBs, cache.NewTLB(cfg.TLBEntries))
+		m.Procs = append(m.Procs, &Proc{m: m, node: i})
+	}
+	return m
+}
+
+// SetMemSystem attaches the memory system. It must be called exactly once
+// before AllocShared or Run.
+func (m *Machine) SetMemSystem(sys MemSystem) {
+	if m.Sys != nil {
+		panic("machine: memory system already attached")
+	}
+	m.Sys = sys
+}
+
+// AllocShared reserves a shared segment and lets the memory system
+// prepare it (home frames, directories). Allocation is a setup-time
+// operation and costs no simulated cycles, mirroring the paper's
+// unmeasured initialisation.
+func (m *Machine) AllocShared(name string, size uint64, place vm.Placement, mode int) *vm.Segment {
+	if m.Sys == nil {
+		panic("machine: AllocShared before SetMemSystem")
+	}
+	if mode == 0 {
+		mode = vm.ModeUser // the memory system's default protocol mode
+	}
+	seg := m.VM.AllocShared(name, size, place, mode)
+	m.Sys.SetupSegment(seg)
+	return seg
+}
+
+// AllocPrivate reserves node-private memory mapped from the node's DRAM.
+func (m *Machine) AllocPrivate(node int, size uint64) mem.VA {
+	va, err := m.VM.AllocPrivate(node, size, m.Mems[node])
+	if err != nil {
+		panic(fmt.Sprintf("machine: %v", err))
+	}
+	return va
+}
+
+// StealCycles charges n cycles of protocol work against node's compute
+// processor, to be absorbed at its next reference. Software Tempest
+// implementations use it: their handlers run on the main CPU.
+func (m *Machine) StealCycles(node int, n sim.Time) {
+	m.stalls[node] += n
+}
+
+// Result summarises one run.
+type Result struct {
+	// Cycles is the full execution time: the latest cycle any processor
+	// reached.
+	Cycles sim.Time
+	// ROICycles is the measured region (between ROIStart and ROIEnd), or
+	// Cycles when no region was marked.
+	ROICycles sim.Time
+	// Counters aggregates processor, memory-system, and network events.
+	Counters *stats.Counters
+	// Net is the interconnect traffic summary.
+	Net network.Stats
+}
+
+// Run executes body once per node as an SPMD program and returns the
+// result. It can only be called once per machine.
+func (m *Machine) Run(body func(*Proc)) (Result, error) {
+	if m.Sys == nil {
+		return Result{}, fmt.Errorf("machine: Run before SetMemSystem")
+	}
+	if m.ran {
+		return Result{}, fmt.Errorf("machine: Run called twice")
+	}
+	m.ran = true
+	for _, p := range m.Procs {
+		p := p
+		p.Ctx = m.Eng.Spawn(fmt.Sprintf("cpu%d", p.node), func(c *sim.Context) {
+			body(p)
+		})
+	}
+	if err := m.Eng.Run(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, p := range m.Procs {
+		if p.Ctx.Time() > res.Cycles {
+			res.Cycles = p.Ctx.Time()
+		}
+	}
+	res.ROICycles = res.Cycles
+	if m.roiEnd > m.roiStart {
+		res.ROICycles = m.roiEnd - m.roiStart
+	}
+	res.Counters = stats.NewCounters()
+	for _, p := range m.Procs {
+		p.foldCounters(res.Counters)
+	}
+	res.Counters.Merge(m.Sys.Counters())
+	res.Net = m.Net.Stats()
+	res.Counters.Add("net.packets.request", res.Net.Packets[network.VNetRequest])
+	res.Counters.Add("net.packets.reply", res.Net.Packets[network.VNetReply])
+	return res, nil
+}

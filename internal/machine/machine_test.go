@@ -1,0 +1,219 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/cache"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/stats"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+// flatSys is a minimal memory system: every shared page is eagerly homed
+// and globally mapped; misses cost the local miss latency.
+type flatSys struct {
+	m *Machine
+	c *stats.Counters
+}
+
+func newFlat(cfg Config) (*Machine, *flatSys) {
+	m := New(cfg)
+	s := &flatSys{m: m, c: stats.NewCounters()}
+	m.SetMemSystem(s)
+	return m, s
+}
+
+func (s *flatSys) Name() string              { return "flat" }
+func (s *flatSys) Counters() *stats.Counters { return s.c }
+func (s *flatSys) SetupSegment(seg *vm.Segment) {
+	for i := 0; i < seg.Pages(); i++ {
+		va := seg.Base + mem.VA(i*mem.PageSize)
+		home := s.m.VM.Home(va)
+		pa, err := s.m.Mems[home].AllocFrame(mem.TagReadWrite)
+		if err != nil {
+			panic(err)
+		}
+		for n := 0; n < s.m.Cfg.Nodes; n++ {
+			s.m.VM.Table(n).Map(va.VPN(), vm.PTE{PA: pa, Writable: true, Mode: seg.Mode})
+		}
+	}
+}
+func (s *flatSys) PageFault(p *Proc, va mem.VA, write bool) {
+	panic("flatSys: page fault")
+}
+func (s *flatSys) ServiceMiss(p *Proc, va mem.VA, pa mem.PA, pte vm.PTE, write, upgrade bool) cache.LineState {
+	p.Ctx.Advance(s.m.Cfg.LocalMissCycles)
+	s.c.Inc("flat.misses")
+	return cache.LineExclusive
+}
+func (s *flatSys) Evicted(p *Proc, victim mem.PA, state cache.LineState) {}
+
+// TestTable2Defaults pins the paper's Table 2 simulation parameters.
+func TestTable2Defaults(t *testing.T) {
+	cfg := DefaultConfig()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"nodes", uint64(cfg.Nodes), 32},
+		{"cache ways", uint64(cfg.CacheWays), 4},
+		{"block size", uint64(cfg.BlockSize), 32},
+		{"TLB entries", uint64(cfg.TLBEntries), 64},
+		{"page size", uint64(mem.PageSize), 4096},
+		{"local miss", uint64(cfg.LocalMissCycles), 29},
+		{"TLB miss", uint64(cfg.TLBMissCycles), 25},
+		{"network latency", uint64(cfg.NetLatency), 11},
+		{"barrier latency", uint64(cfg.BarrierLatency), 11},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (Table 2)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRunRequiresMemSystem(t *testing.T) {
+	m := New(Config{Nodes: 1, CacheSize: 4096})
+	if _, err := m.Run(func(p *Proc) {}); err == nil {
+		t.Fatal("Run without a memory system must fail")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 1, CacheSize: 4096})
+	if _, err := m.Run(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(func(p *Proc) {}); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestAllocSharedNormalisesMode(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 2, CacheSize: 4096})
+	seg := m.AllocShared("x", 100, vm.RoundRobin{}, 0)
+	if seg.Mode != vm.ModeUser {
+		t.Fatalf("mode = %d, want normalised to %d", seg.Mode, vm.ModeUser)
+	}
+}
+
+func TestReferencePathCharges(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 1, CacheSize: 4096})
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, 0)
+	res, err := m.Run(func(p *Proc) {
+		t0 := p.Ctx.Time()
+		p.ReadU64(seg.At(0)) // 1 + TLB 25 + miss 29
+		if d := p.Ctx.Time() - t0; d != 55 {
+			t.Errorf("cold read = %d, want 55", d)
+		}
+		t0 = p.Ctx.Time()
+		p.ReadU64(seg.At(8)) // same block: 1
+		if d := p.Ctx.Time() - t0; d != 1 {
+			t.Errorf("hit = %d, want 1", d)
+		}
+		p.Compute(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get("cpu.loads") != 2 {
+		t.Errorf("loads = %d", res.Counters.Get("cpu.loads"))
+	}
+	if res.Counters.Get("cpu.compute_cycles") != 10 {
+		t.Errorf("compute = %d", res.Counters.Get("cpu.compute_cycles"))
+	}
+	if res.Counters.Get("flat.misses") != 1 {
+		t.Errorf("misses = %d", res.Counters.Get("flat.misses"))
+	}
+}
+
+func TestROIWindow(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 2, CacheSize: 4096})
+	res, err := m.Run(func(p *Proc) {
+		p.Compute(100) // setup, not measured
+		p.Barrier()
+		p.ROIStart()
+		p.Compute(50)
+		p.ROIEnd()
+		p.Compute(500) // teardown, not measured
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROICycles >= res.Cycles {
+		t.Fatalf("ROI %d not smaller than total %d", res.ROICycles, res.Cycles)
+	}
+	if res.ROICycles != 50 {
+		t.Fatalf("ROI = %d, want 50", res.ROICycles)
+	}
+}
+
+func TestBarrierLatencyCharged(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 2, CacheSize: 4096})
+	if _, err := m.Run(func(p *Proc) {
+		t0 := p.Ctx.Time()
+		p.Barrier()
+		// 1 instruction + 11 release latency (both arrive at ~0).
+		if d := p.Ctx.Time() - t0; d < 12 {
+			t.Errorf("barrier cost %d, want >= 12", d)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchChargesWithoutData(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 1, CacheSize: 4096})
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, 0)
+	res, err := m.Run(func(p *Proc) {
+		p.Touch(seg.At(0), true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get("cpu.stores") != 1 {
+		t.Errorf("stores = %d, want 1", res.Counters.Get("cpu.stores"))
+	}
+}
+
+func TestPrivateMemoryIsPerNode(t *testing.T) {
+	m, _ := newFlat(Config{Nodes: 2, CacheSize: 4096})
+	va0 := m.AllocPrivate(0, 64)
+	va1 := m.AllocPrivate(1, 64)
+	if _, err := m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.WriteU64(va0, 111)
+		} else {
+			p.WriteU64(va1, 222)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pa0, _, _ := m.VM.Translate(0, va0)
+	pa1, _, _ := m.VM.Translate(1, va1)
+	if m.Mems[0].ReadU64(pa0) != 111 || m.Mems[1].ReadU64(pa1) != 222 {
+		t.Fatal("private values wrong")
+	}
+}
+
+func TestLivelockGuardFires(t *testing.T) {
+	m := New(Config{Nodes: 1, CacheSize: 4096})
+	s := &retrySys{flatSys{m: m, c: stats.NewCounters()}}
+	m.SetMemSystem(s)
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, 0)
+	_, err := m.Run(func(p *Proc) {
+		p.ReadU64(seg.At(0))
+	})
+	if err == nil {
+		t.Fatal("expected livelock diagnostic")
+	}
+}
+
+// retrySys always asks for a retry, triggering the livelock guard.
+type retrySys struct{ flatSys }
+
+func (s *retrySys) ServiceMiss(p *Proc, va mem.VA, pa mem.PA, pte vm.PTE, write, upgrade bool) cache.LineState {
+	p.Ctx.Advance(1)
+	return cache.LineInvalid
+}

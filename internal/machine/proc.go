@@ -1,0 +1,203 @@
+package machine
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/cache"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+// maxRetries bounds how many times one reference may be retried after
+// fault service before the run aborts; it exists to turn protocol
+// livelock bugs into diagnostics instead of hangs.
+const maxRetries = 10000
+
+// ProcStats are the hot-path per-processor event counts, kept as plain
+// fields so the reference path stays allocation- and hash-free.
+type ProcStats struct {
+	Loads       uint64
+	Stores      uint64
+	TLBMisses   uint64
+	CacheMisses uint64
+	Upgrades    uint64
+	PageFaults  uint64
+	BlockFaults uint64 // retries signalled by the memory system
+	Computes    uint64 // cycles charged via Compute
+	Barriers    uint64
+}
+
+// Proc is one simulated processor: the handle SPMD application code
+// programs against. All of its operations charge simulated time.
+type Proc struct {
+	m    *Machine
+	node int
+
+	// Ctx is the processor's compute thread. Protocol code uses it to
+	// suspend and resume the processor (Tempest's read/write fault and
+	// resume semantics).
+	Ctx *sim.Context
+
+	Stats ProcStats
+}
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// ID returns the processor's node number.
+func (p *Proc) ID() int { return p.node }
+
+// N returns the number of processors.
+func (p *Proc) N() int { return p.m.Cfg.Nodes }
+
+// Compute charges n cycles of non-memory instructions (the 1
+// cycle/instruction model of paper §6).
+func (p *Proc) Compute(n int) {
+	p.Stats.Computes += uint64(n)
+	p.Ctx.Advance(sim.Time(n))
+}
+
+// Barrier joins the machine-wide hardware barrier. Like memory
+// references, it first absorbs any protocol-handler cycles stolen from
+// this processor (software Tempest), so compute-only phases cannot end a
+// run without paying for the handlers they hosted.
+func (p *Proc) Barrier() {
+	p.Stats.Barriers++
+	p.Ctx.Advance(1)
+	if st := p.m.stalls[p.node]; st > 0 {
+		p.m.stalls[p.node] = 0
+		p.Ctx.Advance(st)
+	}
+	p.m.Bar.Arrive(p.Ctx)
+}
+
+// ROIStart marks the beginning of the measured region. Call it on every
+// processor immediately after a barrier; the latest caller defines the
+// region start.
+func (p *Proc) ROIStart() {
+	if p.Ctx.Time() > p.m.roiStart {
+		p.m.roiStart = p.Ctx.Time()
+	}
+}
+
+// ROIEnd marks the end of the measured region; the latest caller defines
+// the region end.
+func (p *Proc) ROIEnd() {
+	if p.Ctx.Time() > p.m.roiEnd {
+		p.m.roiEnd = p.Ctx.Time()
+	}
+}
+
+// access runs one tag-checked reference through the node: one instruction
+// cycle, TLB, translation (with page-fault service), cache probe, and —
+// on a miss or upgrade — the pluggable memory system. It returns the
+// physical address the reference resolved to.
+func (p *Proc) access(va mem.VA, write bool) mem.PA {
+	p.Ctx.Advance(1)
+	if st := p.m.stalls[p.node]; st > 0 {
+		// Absorb protocol-handler cycles stolen from this processor
+		// (software Tempest implementations only).
+		p.m.stalls[p.node] = 0
+		p.Ctx.Advance(st)
+	}
+	if p.m.PerRefOverhead > 0 && vm.IsShared(va) {
+		// Inline software access check (software Tempest).
+		p.Ctx.AdvanceAtomic(p.m.PerRefOverhead)
+	}
+	if write {
+		p.Stats.Stores++
+	} else {
+		p.Stats.Loads++
+	}
+	cfg := &p.m.Cfg
+	for attempt := 0; ; attempt++ {
+		if attempt == maxRetries {
+			panic(fmt.Sprintf("machine: cpu%d reference %#x (write=%v) retried %d times; protocol livelock?",
+				p.node, va, write, maxRetries))
+		}
+		if !p.m.TLBs[p.node].Lookup(va.VPN()) {
+			p.Stats.TLBMisses++
+			p.Ctx.Advance(cfg.TLBMissCycles)
+		}
+		pa, pte, ok := p.m.VM.Translate(p.node, va)
+		if !ok || (write && !pte.Writable) {
+			p.Stats.PageFaults++
+			p.m.Sys.PageFault(p, va, write)
+			continue
+		}
+		hit, upgrade := p.m.Caches[p.node].Probe(pa, write)
+		if hit {
+			return pa
+		}
+		if upgrade {
+			p.Stats.Upgrades++
+		} else {
+			p.Stats.CacheMisses++
+		}
+		state := p.m.Sys.ServiceMiss(p, va, pa, pte, write, upgrade)
+		if state == cache.LineInvalid {
+			p.Stats.BlockFaults++
+			continue // fault serviced; re-run the reference
+		}
+		if upgrade {
+			if p.m.Caches[p.node].Lookup(pa) == cache.LineInvalid {
+				// The Shared line was invalidated while the upgrade
+				// was in flight (another writer won): retry as a full
+				// miss, as the bus would.
+				continue
+			}
+			p.m.Caches[p.node].Upgrade(pa)
+		} else {
+			victim, vs := p.m.Caches[p.node].Fill(pa, state)
+			if vs != cache.LineInvalid {
+				p.m.Sys.Evicted(p, victim, vs)
+			}
+		}
+		return pa
+	}
+}
+
+// ReadU64 performs a tag-checked 8-byte load from the shared or private
+// address va and returns the value.
+func (p *Proc) ReadU64(va mem.VA) uint64 {
+	pa := p.access(va, false)
+	return p.m.Mems[pa.Node()].ReadU64(pa)
+}
+
+// WriteU64 performs a tag-checked 8-byte store.
+func (p *Proc) WriteU64(va mem.VA, v uint64) {
+	pa := p.access(va, true)
+	p.m.Mems[pa.Node()].WriteU64(pa, v)
+}
+
+// ReadF64 performs a tag-checked float64 load.
+func (p *Proc) ReadF64(va mem.VA) float64 {
+	pa := p.access(va, false)
+	return p.m.Mems[pa.Node()].ReadF64(pa)
+}
+
+// WriteF64 performs a tag-checked float64 store.
+func (p *Proc) WriteF64(va mem.VA, v float64) {
+	pa := p.access(va, true)
+	p.m.Mems[pa.Node()].WriteF64(pa, v)
+}
+
+// Touch performs a tag-checked reference without transferring data; apps
+// use it where only the coherence traffic of an access matters.
+func (p *Proc) Touch(va mem.VA, write bool) {
+	p.access(va, write)
+}
+
+func (p *Proc) foldCounters(c *stats.Counters) {
+	c.Add("cpu.loads", p.Stats.Loads)
+	c.Add("cpu.stores", p.Stats.Stores)
+	c.Add("cpu.tlb_misses", p.Stats.TLBMisses)
+	c.Add("cpu.cache_misses", p.Stats.CacheMisses)
+	c.Add("cpu.upgrades", p.Stats.Upgrades)
+	c.Add("cpu.page_faults", p.Stats.PageFaults)
+	c.Add("cpu.block_fault_retries", p.Stats.BlockFaults)
+	c.Add("cpu.compute_cycles", p.Stats.Computes)
+	c.Add("cpu.barriers", p.Stats.Barriers)
+}

@@ -1,0 +1,179 @@
+// Package network models the point-to-point interconnect of the simulated
+// machines: a CM-5-style network (paper §5) with two independent virtual
+// networks for deadlock avoidance, a fixed end-to-end latency (Table 2:
+// 11 cycles), a bounded packet payload (twenty 32-bit words), and
+// in-order per-sender delivery into per-node receive queues. Contention
+// is not modeled, matching the paper's stated simulation limitations.
+package network
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/sim"
+)
+
+// VNet selects one of the two independent virtual networks. Requests
+// travel on the low-priority network and replies on the high-priority
+// one, so a pure request/response protocol is deadlock-free (paper §5.1).
+type VNet uint8
+
+// Virtual networks.
+const (
+	VNetRequest VNet = iota
+	VNetReply
+	numVNets
+)
+
+func (v VNet) String() string {
+	switch v {
+	case VNetRequest:
+		return "request"
+	case VNetReply:
+		return "reply"
+	}
+	return fmt.Sprintf("VNet(%d)", uint8(v))
+}
+
+// MaxPayloadBytes is the maximum packet payload: twenty 32-bit words
+// (paper §5), which fits a handler PC, a 64-bit address, 64 bytes of
+// data, and two words to spare.
+const MaxPayloadBytes = 20 * 4
+
+// handlerBytes is the payload cost of the receive-handler PC word.
+const handlerBytes = 4
+
+// Packet is one active message: the first word names the receive handler
+// and the rest is its arguments (paper §2.1 and §5.1).
+type Packet struct {
+	Src, Dst int
+	VNet     VNet
+	Handler  uint32   // receive-handler identifier (the "handler PC")
+	Args     []uint64 // scalar arguments (addresses, counts, values)
+	Data     []byte   // optional raw block payload
+
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+}
+
+// PayloadBytes returns the packet's size against the payload limit.
+func (p *Packet) PayloadBytes() int {
+	return handlerBytes + 8*len(p.Args) + len(p.Data)
+}
+
+// Stats counts network traffic.
+type Stats struct {
+	Packets      [2]uint64 // by VNet
+	PayloadBytes [2]uint64
+	LocalSends   uint64 // CPU-to-own-NP short circuits
+}
+
+// Endpoint is one node's network interface: two receive FIFOs plus a
+// wakeup callback for the entity that drains them (the NP dispatch loop,
+// or the DirNNB hardware controller).
+type Endpoint struct {
+	node   int
+	queues [numVNets][]*Packet
+	// Notify is invoked (while holding the conch) whenever a packet is
+	// delivered, with the delivery time. The NP uses it to unpark its
+	// dispatch loop.
+	Notify func(at sim.Time)
+}
+
+// Node returns the endpoint's node ID.
+func (e *Endpoint) Node() int { return e.node }
+
+// Pending returns the number of queued packets across both networks.
+func (e *Endpoint) Pending() int { return len(e.queues[VNetRequest]) + len(e.queues[VNetReply]) }
+
+// PendingOn returns the number of queued packets on one network.
+func (e *Endpoint) PendingOn(v VNet) int { return len(e.queues[v]) }
+
+// Dequeue pops the next packet, draining the reply network before the
+// request network so request handlers can never starve response handlers
+// (paper §5.1). It returns nil when both queues are empty.
+func (e *Endpoint) Dequeue() *Packet {
+	for _, v := range []VNet{VNetReply, VNetRequest} {
+		if q := e.queues[v]; len(q) > 0 {
+			p := q[0]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			e.queues[v] = q[:len(q)-1]
+			return p
+		}
+	}
+	return nil
+}
+
+// Network connects n endpoints with fixed latency.
+type Network struct {
+	eng          *sim.Engine
+	latency      sim.Time
+	localLatency sim.Time
+	endpoints    []*Endpoint
+	stats        Stats
+}
+
+// Config configures a Network.
+type Config struct {
+	Nodes int
+	// Latency is the end-to-end packet latency in cycles (Table 2: 11).
+	Latency sim.Time
+	// LocalLatency is the CPU-to-own-NP short-circuit latency (paper
+	// §5.1: the CPU can send directly to its local NP). Zero means 1.
+	LocalLatency sim.Time
+}
+
+// New builds a network.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("network: need at least one node")
+	}
+	ll := cfg.LocalLatency
+	if ll == 0 {
+		ll = 1
+	}
+	n := &Network{eng: eng, latency: cfg.Latency, localLatency: ll}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.endpoints = append(n.endpoints, &Endpoint{node: i})
+	}
+	return n
+}
+
+// Endpoint returns node's endpoint.
+func (n *Network) Endpoint(node int) *Endpoint { return n.endpoints[node] }
+
+// Latency returns the configured end-to-end latency.
+func (n *Network) Latency() sim.Time { return n.latency }
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send injects a packet. It must be called while holding the conch; the
+// packet is delivered (enqueued and Notify'd) latency cycles after the
+// current global time. Messages from one node to its own NP short-circuit
+// the network (paper §5.1). Send panics if the payload exceeds the
+// twenty-word limit — protocol code must packetise larger transfers.
+func (n *Network) Send(p *Packet) {
+	if p.Dst < 0 || p.Dst >= len(n.endpoints) {
+		panic(fmt.Sprintf("network: send to invalid node %d", p.Dst))
+	}
+	if sz := p.PayloadBytes(); sz > MaxPayloadBytes {
+		panic(fmt.Sprintf("network: packet payload %d bytes exceeds %d-byte limit", sz, MaxPayloadBytes))
+	}
+	lat := n.latency
+	if p.Src == p.Dst {
+		lat = n.localLatency
+		n.stats.LocalSends++
+	}
+	n.stats.Packets[p.VNet]++
+	n.stats.PayloadBytes[p.VNet] += uint64(p.PayloadBytes())
+	p.SentAt = n.eng.Now()
+	dst := n.endpoints[p.Dst]
+	n.eng.After(lat, func() {
+		p.DeliveredAt = n.eng.Now()
+		dst.queues[p.VNet] = append(dst.queues[p.VNet], p)
+		if dst.Notify != nil {
+			dst.Notify(p.DeliveredAt)
+		}
+	})
+}

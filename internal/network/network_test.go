@@ -1,0 +1,227 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tempest-sim/tempest/internal/sim"
+)
+
+// runWith spins up an engine with a single context that executes body and
+// then lets the event queue drain.
+func runWith(t *testing.T, build func(eng *sim.Engine) (*Network, func(c *sim.Context))) {
+	t.Helper()
+	eng := sim.NewEngine()
+	_, body := build(eng)
+	eng.Spawn("driver", body)
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeliveryAfterLatency(t *testing.T) {
+	var deliveredAt sim.Time
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		n.Endpoint(1).Notify = func(at sim.Time) { deliveredAt = at }
+		return n, func(c *sim.Context) {
+			c.Advance(100)
+			c.Yield()
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Handler: 7})
+			c.Sleep(50)
+			p := n.Endpoint(1).Dequeue()
+			if p == nil || p.Handler != 7 {
+				t.Errorf("packet not delivered: %+v", p)
+			}
+		}
+	})
+	if deliveredAt != 111 {
+		t.Fatalf("delivered at %d, want 111", deliveredAt)
+	}
+}
+
+func TestLocalShortCircuit(t *testing.T) {
+	var deliveredAt sim.Time
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11, LocalLatency: 1})
+		n.Endpoint(0).Notify = func(at sim.Time) { deliveredAt = at }
+		return n, func(c *sim.Context) {
+			c.Advance(10)
+			c.Yield()
+			n.Send(&Packet{Src: 0, Dst: 0, VNet: VNetRequest})
+			c.Sleep(10)
+		}
+	})
+	if deliveredAt != 11 {
+		t.Fatalf("local send delivered at %d, want 11", deliveredAt)
+	}
+}
+
+func TestReplyNetworkHasPriority(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		return n, func(c *sim.Context) {
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Handler: 1})
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetReply, Handler: 2})
+			c.Sleep(20)
+			ep := n.Endpoint(1)
+			if ep.Pending() != 2 {
+				t.Fatalf("pending = %d, want 2", ep.Pending())
+			}
+			first := ep.Dequeue()
+			second := ep.Dequeue()
+			if first.Handler != 2 || second.Handler != 1 {
+				t.Errorf("dequeue order = %d,%d; want reply (2) before request (1)", first.Handler, second.Handler)
+			}
+			if ep.Dequeue() != nil {
+				t.Error("queue should be empty")
+			}
+		}
+	})
+}
+
+func TestInOrderDeliveryPerSender(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		return n, func(c *sim.Context) {
+			for i := uint32(0); i < 10; i++ {
+				n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Handler: i})
+				c.Advance(1)
+				c.Yield()
+			}
+			c.Sleep(30)
+			ep := n.Endpoint(1)
+			for i := uint32(0); i < 10; i++ {
+				p := ep.Dequeue()
+				if p == nil || p.Handler != i {
+					t.Fatalf("packet %d out of order: %+v", i, p)
+				}
+			}
+		}
+	})
+}
+
+func TestPayloadLimitEnforced(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		return n, func(c *sim.Context) {
+			// Maximum legal packet: handler(4) + addr(8) + 64B data + 4B slack = 80.
+			ok := &Packet{Src: 0, Dst: 1, Args: []uint64{0xFEED}, Data: make([]byte, 64)}
+			if ok.PayloadBytes() != 76 {
+				t.Errorf("PayloadBytes = %d, want 76", ok.PayloadBytes())
+			}
+			n.Send(ok)
+			defer func() {
+				if recover() == nil {
+					t.Error("oversized packet must panic")
+				}
+			}()
+			n.Send(&Packet{Src: 0, Dst: 1, Data: make([]byte, 128)})
+		}
+	})
+}
+
+func TestStatsAccounting(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 3, Latency: 11})
+		return n, func(c *sim.Context) {
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Args: []uint64{1}})
+			n.Send(&Packet{Src: 1, Dst: 2, VNet: VNetReply, Data: make([]byte, 32)})
+			n.Send(&Packet{Src: 2, Dst: 2, VNet: VNetReply})
+			c.Sleep(20)
+			s := n.Stats()
+			if s.Packets[VNetRequest] != 1 || s.Packets[VNetReply] != 2 {
+				t.Errorf("packets = %v", s.Packets)
+			}
+			if s.LocalSends != 1 {
+				t.Errorf("local sends = %d, want 1", s.LocalSends)
+			}
+			if s.PayloadBytes[VNetRequest] != 12 { // handler 4 + one arg 8
+				t.Errorf("request bytes = %d, want 12", s.PayloadBytes[VNetRequest])
+			}
+		}
+	})
+}
+
+func TestDataIntegrity(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		return n, func(c *sim.Context) {
+			data := make([]byte, 32)
+			for i := range data {
+				data[i] = byte(i * 3)
+			}
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetReply, Args: []uint64{42, 99}, Data: data})
+			c.Sleep(20)
+			p := n.Endpoint(1).Dequeue()
+			if p.Args[0] != 42 || p.Args[1] != 99 {
+				t.Fatalf("args = %v", p.Args)
+			}
+			for i := range p.Data {
+				if p.Data[i] != byte(i*3) {
+					t.Fatalf("data[%d] = %d", i, p.Data[i])
+				}
+			}
+		}
+	})
+}
+
+// Property: for any send schedule from a single context, every packet is
+// delivered exactly latency cycles after its send time, in send order per
+// virtual network.
+func TestDeliveryTimeProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		if len(gaps) == 0 || len(gaps) > 50 {
+			return true
+		}
+		eng := sim.NewEngine()
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		sent := make([]sim.Time, 0, len(gaps))
+		eng.Spawn("sender", func(c *sim.Context) {
+			for i, g := range gaps {
+				c.Advance(sim.Time(g))
+				c.Yield()
+				sent = append(sent, c.Time())
+				n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Handler: uint32(i)})
+			}
+			c.Sleep(100)
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		ep := n.Endpoint(1)
+		for i := range gaps {
+			p := ep.Dequeue()
+			if p == nil || p.Handler != uint32(i) {
+				return false
+			}
+			if p.DeliveredAt != sent[i]+11 {
+				return false
+			}
+		}
+		return ep.Dequeue() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVNetStrings(t *testing.T) {
+	if VNetRequest.String() != "request" || VNetReply.String() != "reply" {
+		t.Fatal("vnet strings wrong")
+	}
+	if VNet(9).String() == "" {
+		t.Fatal("unknown vnet should still format")
+	}
+}
+
+func TestLatencyAccessor(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{Nodes: 1, Latency: 17})
+	if n.Latency() != 17 {
+		t.Fatalf("latency = %d", n.Latency())
+	}
+	if n.Endpoint(0).Node() != 0 {
+		t.Fatal("endpoint node wrong")
+	}
+}

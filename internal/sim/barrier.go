@@ -1,0 +1,52 @@
+package sim
+
+import "fmt"
+
+// Barrier models a hardware barrier network (the CM-5-style control
+// network both simulated machines in the paper use): n participants
+// arrive, and all are released latency cycles after the last arrival.
+type Barrier struct {
+	eng     *Engine
+	n       int
+	latency Time
+
+	waiting []*Context
+	maxTime Time
+	epochs  uint64
+}
+
+// NewBarrier returns a barrier for n participants with the given release
+// latency in cycles.
+func NewBarrier(eng *Engine, n int, latency Time) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier requires at least one participant")
+	}
+	return &Barrier{eng: eng, n: n, latency: latency}
+}
+
+// Epochs returns how many times the barrier has completed.
+func (b *Barrier) Epochs() uint64 { return b.epochs }
+
+// Arrive blocks the calling context until all n participants have
+// arrived, then releases everyone at max(arrival times) + latency.
+func (b *Barrier) Arrive(c *Context) {
+	if c.time > b.maxTime {
+		b.maxTime = c.time
+	}
+	if len(b.waiting) == b.n-1 {
+		release := b.maxTime + b.latency
+		for _, w := range b.waiting {
+			w.Unpark(release)
+		}
+		b.waiting = b.waiting[:0]
+		b.maxTime = 0
+		b.epochs++
+		if release > c.time {
+			c.time = release
+		}
+		c.Yield()
+		return
+	}
+	b.waiting = append(b.waiting, c)
+	c.Park(fmt.Sprintf("barrier(%d/%d)", len(b.waiting), b.n))
+}

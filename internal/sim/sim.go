@@ -1,0 +1,457 @@
+// Package sim provides a deterministic, cooperative discrete-event engine.
+//
+// The engine plays the role the Wisconsin Wind Tunnel plays in the paper:
+// it hosts one context per simulated instruction stream (a compute
+// processor's thread, a network-interface processor's dispatch loop) and
+// interleaves them in global cycle order. Exactly one context runs at a
+// time (cooperative "conch" scheduling), so simulated state needs no
+// locking and every run of the same configuration is bit-identical.
+//
+// Contexts account for their own local time with Advance and interact with
+// the rest of the machine only at explicit points: Yield, Park/Unpark, and
+// timed events. Between interaction points a context may run ahead of the
+// global clock by at most the engine's quantum, mirroring the
+// direct-execution style of execution-driven simulators.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a simulated clock value in processor cycles.
+type Time uint64
+
+// State describes a context's scheduling state.
+type State uint8
+
+// Context scheduling states.
+const (
+	StateNew State = iota
+	StateRunnable
+	StateRunning
+	StateParked
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateParked:
+		return "parked"
+	case StateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// DefaultQuantum bounds how far a context may run ahead of its last yield
+// before it is forced back through the scheduler. It is a few network
+// latencies (Table 2: 11 cycles) so a compute processor cannot starve
+// its node's NP of overlap opportunities (prefetch, bulk transfer)
+// for long; a larger quantum would trade that fidelity for fewer context
+// switches, the same trade execution-driven simulators make.
+const DefaultQuantum Time = 64
+
+// shutdownSignal is panicked through a context goroutine when the engine
+// tears down daemons after Run completes.
+type shutdownSignal struct{}
+
+// Context is a simulated instruction stream scheduled by an Engine.
+type Context struct {
+	eng  *Engine
+	id   int
+	name string
+
+	time      Time
+	lastYield Time
+	state     State
+	daemon    bool
+	prio      uint8 // tie-break class: compute contexts (0) run before daemons (1)
+
+	parkReason    string
+	pendingUnpark bool
+	pendingAt     Time
+
+	resumeCh chan struct{}
+	body     func(*Context)
+
+	heapIndex int // index in the runnable heap, -1 if absent
+}
+
+// ID returns the context's creation-order identifier.
+func (c *Context) ID() int { return c.id }
+
+// Name returns the context's diagnostic name.
+func (c *Context) Name() string { return c.name }
+
+// Time returns the context's local clock.
+func (c *Context) Time() Time { return c.time }
+
+// State returns the context's scheduling state.
+func (c *Context) State() State { return c.state }
+
+// Engine returns the engine that owns this context.
+func (c *Context) Engine() *Engine { return c.eng }
+
+// Engine schedules contexts and timed events in global cycle order.
+type Engine struct {
+	quantum  Time
+	now      Time
+	contexts []*Context
+	runnable ctxHeap
+	events   evHeap
+	evSeq    uint64
+
+	running  *Context
+	backCh   chan struct{}
+	shutdown chan struct{}
+	started  bool
+	finished bool
+
+	abort error // first panic captured from a context
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithQuantum sets the run-ahead quantum in cycles. Zero keeps the default.
+func WithQuantum(q Time) Option {
+	return func(e *Engine) {
+		if q > 0 {
+			e.quantum = q
+		}
+	}
+}
+
+// NewEngine returns an empty engine.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		quantum:  DefaultQuantum,
+		backCh:   make(chan struct{}),
+		shutdown: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Now returns the global clock: the local time of the entity (context or
+// event) that is currently executing, including any cycles the running
+// context has accumulated since it was dispatched.
+func (e *Engine) Now() Time {
+	if e.running != nil {
+		return e.running.time
+	}
+	return e.now
+}
+
+// Quantum returns the engine's run-ahead quantum.
+func (e *Engine) Quantum() Time { return e.quantum }
+
+// Spawn creates a context that must finish before Run can succeed.
+// Spawning is allowed both before Run and from inside a running context or
+// event; the new context starts at the current global time.
+func (e *Engine) Spawn(name string, body func(*Context)) *Context {
+	return e.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a context that services the machine (for example an
+// NP dispatch loop). Run does not wait for daemons to finish; they are
+// torn down after all non-daemon contexts complete and the event queue
+// drains. Daemons lose scheduling ties against regular contexts: a
+// compute processor whose retried bus transaction and a service
+// processor's next handler are due at the same cycle models the bus
+// granting the retried access first, which is what guarantees forward
+// progress in the simulated protocols.
+func (e *Engine) SpawnDaemon(name string, body func(*Context)) *Context {
+	return e.spawn(name, body, true)
+}
+
+func (e *Engine) spawn(name string, body func(*Context), daemon bool) *Context {
+	var prio uint8
+	if daemon {
+		prio = 1
+	}
+	c := &Context{
+		eng:       e,
+		id:        len(e.contexts),
+		name:      name,
+		time:      e.now,
+		lastYield: e.now,
+		state:     StateRunnable,
+		daemon:    daemon,
+		prio:      prio,
+		resumeCh:  make(chan struct{}),
+		body:      body,
+		heapIndex: -1,
+	}
+	e.contexts = append(e.contexts, c)
+	heap.Push(&e.runnable, c)
+	go c.run()
+	return c
+}
+
+func (c *Context) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(shutdownSignal); ok {
+				return // engine teardown; nobody is waiting on backCh
+			}
+			c.eng.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+		}
+		c.state = StateDone
+		// Hand the conch back to the engine, unless the engine is gone.
+		select {
+		case c.eng.backCh <- struct{}{}:
+		case <-c.eng.shutdown:
+		}
+	}()
+	// Wait for the first dispatch before touching any simulated state.
+	c.await()
+	c.onDispatched()
+	c.body(c)
+}
+
+// await blocks until the engine dispatches this context, panicking with
+// shutdownSignal if the engine shut down instead.
+func (c *Context) await() {
+	select {
+	case <-c.resumeCh:
+	case <-c.eng.shutdown:
+		panic(shutdownSignal{})
+	}
+}
+
+// Advance charges n cycles of local execution. If the context has run more
+// than the engine quantum past its last scheduling point it yields so that
+// other contexts (and pending events) catch up.
+func (c *Context) Advance(n Time) {
+	c.time += n
+	if c.time-c.lastYield >= c.eng.quantum {
+		c.Yield()
+	}
+}
+
+// AdvanceAtomic charges n cycles without any possibility of yielding. Use
+// inside sections that must not observe interleaved simulated state.
+func (c *Context) AdvanceAtomic(n Time) { c.time += n }
+
+// SyncTo moves the context's clock forward to t if it lags (idle time,
+// charged without yielding). Service processors use it so a queued item
+// is never handled before the simulated instant it was posted.
+func (c *Context) SyncTo(t Time) {
+	if t > c.time {
+		c.time = t
+	}
+}
+
+// Yield reschedules the context, letting every entity with an earlier (or
+// equal, lower-id) clock run first.
+func (c *Context) Yield() {
+	c.checkRunning("Yield")
+	c.state = StateRunnable
+	heap.Push(&c.eng.runnable, c)
+	c.eng.backCh <- struct{}{}
+	c.await()
+	c.onDispatched()
+}
+
+// Sleep advances the local clock by n cycles and yields, modeling an idle
+// wait of known length.
+func (c *Context) Sleep(n Time) {
+	c.time += n
+	c.Yield()
+}
+
+// Park suspends the context until another entity calls Unpark. The reason
+// string appears in deadlock reports. If an Unpark raced ahead of the
+// Park (the wakeup was issued while the context was still running), Park
+// consumes it and returns immediately.
+func (c *Context) Park(reason string) {
+	c.checkRunning("Park")
+	if c.pendingUnpark {
+		c.pendingUnpark = false
+		if c.pendingAt > c.time {
+			c.time = c.pendingAt
+		}
+		c.Yield() // still reschedule so earlier entities run first
+		return
+	}
+	c.parkReason = reason
+	c.state = StateParked
+	c.eng.backCh <- struct{}{}
+	c.await()
+	c.onDispatched()
+}
+
+// Unpark makes a parked context runnable no earlier than simulated time
+// at. Calling Unpark on a context that is not parked records a pending
+// wakeup that its next Park consumes. Unpark must be called while holding
+// the conch (i.e. from a running context or an event callback).
+func (c *Context) Unpark(at Time) {
+	switch c.state {
+	case StateParked:
+		if at > c.time {
+			c.time = at
+		}
+		c.parkReason = ""
+		c.state = StateRunnable
+		heap.Push(&c.eng.runnable, c)
+	case StateDone:
+		// Late wakeup for a finished context; ignore.
+	default:
+		c.pendingUnpark = true
+		if at > c.pendingAt {
+			c.pendingAt = at
+		}
+	}
+}
+
+func (c *Context) onDispatched() {
+	c.state = StateRunning
+	c.lastYield = c.time
+	c.eng.running = c
+	c.eng.now = c.time
+}
+
+func (c *Context) checkRunning(op string) {
+	if c.eng.running != c {
+		panic(fmt.Sprintf("sim: %s called on context %q which is not running (state %v)", op, c.name, c.state))
+	}
+}
+
+// At schedules fn to run at absolute simulated time t. Events run on the
+// scheduler, may not block, and execute before any context whose clock is
+// later than t. Events at equal times run in scheduling order.
+func (e *Engine) At(t Time, fn func()) {
+	if now := e.Now(); t < now {
+		t = now
+	}
+	e.evSeq++
+	heap.Push(&e.events, evItem{t: t, seq: e.evSeq, fn: fn})
+}
+
+// After schedules fn delta cycles after the current global time.
+func (e *Engine) After(delta Time, fn func()) { e.At(e.Now()+delta, fn) }
+
+// Run drives the simulation until every non-daemon context finishes and
+// the machine is quiescent (no runnable contexts, no pending events). It
+// returns an error if a context panicked or if the machine deadlocked with
+// unfinished work.
+func (e *Engine) Run() error {
+	if e.started {
+		return fmt.Errorf("sim: engine already ran")
+	}
+	e.started = true
+	defer func() {
+		e.finished = true
+		close(e.shutdown) // release daemon goroutines
+	}()
+
+	for e.abort == nil {
+		// Run every event that is due before (or at) the next context.
+		nextCtx := Time(^uint64(0))
+		if len(e.runnable) > 0 {
+			nextCtx = e.runnable[0].time
+		}
+		if len(e.events) > 0 && e.events[0].t <= nextCtx {
+			ev := heap.Pop(&e.events).(evItem)
+			if ev.t > e.now {
+				e.now = ev.t
+			}
+			e.running = nil
+			ev.fn()
+			continue
+		}
+		if len(e.runnable) == 0 {
+			break // quiescent
+		}
+		c := heap.Pop(&e.runnable).(*Context)
+		c.resumeCh <- struct{}{}
+		<-e.backCh
+		e.running = nil
+	}
+
+	if e.abort != nil {
+		return e.abort
+	}
+	var waiting []string
+	for _, c := range e.contexts {
+		if c.daemon || c.state == StateDone {
+			continue
+		}
+		waiting = append(waiting, fmt.Sprintf("%s@%d(%s: %s)", c.name, c.time, c.state, c.parkReason))
+	}
+	if len(waiting) > 0 {
+		sort.Strings(waiting)
+		return fmt.Errorf("sim: deadlock at cycle %d; blocked contexts: %s", e.now, strings.Join(waiting, ", "))
+	}
+	return nil
+}
+
+// evItem is a scheduled callback.
+type evItem struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type evHeap []evItem
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(evItem)) }
+func (h *evHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type ctxHeap []*Context
+
+func (h ctxHeap) Len() int { return len(h) }
+func (h ctxHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].id < h[j].id
+}
+func (h ctxHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *ctxHeap) Push(x interface{}) {
+	c := x.(*Context)
+	c.heapIndex = len(*h)
+	*h = append(*h, c)
+}
+func (h *ctxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	c.heapIndex = -1
+	*h = old[:n-1]
+	return c
+}

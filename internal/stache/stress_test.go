@@ -1,0 +1,188 @@
+package stache
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+// stressRand is a tiny deterministic PRNG for workload construction.
+type stressRand struct{ s uint64 }
+
+func (r *stressRand) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestRandomizedRaceFreeStress runs many rounds of a randomized but
+// data-race-free workload: each round a random owner is chosen per
+// block; owners write, everyone reads after a barrier. After the run the
+// coherence invariants must hold and every block must carry its owner's
+// last value.
+func TestRandomizedRaceFreeStress(t *testing.T) {
+	const (
+		nodes  = 6
+		blocks = 48
+		rounds = 12
+	)
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			m := machine.New(machine.Config{Nodes: nodes, CacheSize: 4096, Seed: seed})
+			st := New()
+			// Exercise replacement too on one of the seeds.
+			if seed == 42 {
+				st.maxPages = 2
+			}
+			typhoon.New(m, st)
+			seg := m.AllocShared("stress", blocks*32, vm.RoundRobin{}, 0)
+
+			// Precompute the deterministic schedule so every node agrees.
+			owner := make([][]int, rounds)
+			val := make([][]uint64, rounds)
+			r := &stressRand{s: seed}
+			for rd := 0; rd < rounds; rd++ {
+				owner[rd] = make([]int, blocks)
+				val[rd] = make([]uint64, blocks)
+				for b := 0; b < blocks; b++ {
+					owner[rd][b] = int(r.next() % nodes)
+					val[rd][b] = r.next()
+				}
+			}
+
+			blockVA := func(b int) mem.VA { return seg.At(uint64(b * 32)) }
+
+			res, err := m.Run(func(p *machine.Proc) {
+				for rd := 0; rd < rounds; rd++ {
+					for b := 0; b < blocks; b++ {
+						if owner[rd][b] == p.ID() {
+							p.WriteU64(blockVA(b), val[rd][b])
+						}
+					}
+					p.Barrier()
+					// Everyone reads a deterministic subset.
+					for b := p.ID(); b < blocks; b += 3 {
+						if got := p.ReadU64(blockVA(b)); got != val[rd][b] {
+							t.Errorf("round %d block %d: node %d read %d, want %d",
+								rd, b, p.ID(), got, val[rd][b])
+						}
+					}
+					p.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if res.Counters.Get("stache.remote_faults") == 0 {
+				t.Error("stress produced no remote faults")
+			}
+		})
+	}
+}
+
+// TestManyNodesSingleHotBlock hammers one block from 16 nodes with
+// interleaved reads and writes and relies on the invariant checker.
+func TestManyNodesSingleHotBlock(t *testing.T) {
+	m := machine.New(machine.Config{Nodes: 16, CacheSize: 4096, Seed: 3})
+	st := New()
+	typhoon.New(m, st)
+	seg := m.AllocShared("hot", mem.PageSize, vm.OnNode{Node: 0}, 0)
+	_, err := m.Run(func(p *machine.Proc) {
+		for i := 0; i < 30; i++ {
+			if (i+p.ID())%4 == 0 {
+				p.WriteU64(seg.At(0), uint64(p.ID()*1000+i))
+			} else {
+				p.ReadU64(seg.At(0))
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestFeatureInteractionTorture combines every Stache feature — budgeted
+// replacement, migratory detection, prefetch, and check-in — under a
+// randomized race-free workload, relying on value checks and the
+// invariant checker to catch interaction bugs.
+func TestFeatureInteractionTorture(t *testing.T) {
+	const (
+		nodes  = 5
+		blocks = 40
+		rounds = 10
+	)
+	for _, seed := range []uint64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			m := machine.New(machine.Config{Nodes: nodes, CacheSize: 4096, Seed: seed})
+			st := New(WithMaxPages(3), WithMigratory())
+			typhoon.New(m, st)
+			seg := m.AllocShared("torture", blocks*32, vm.RoundRobin{}, 0)
+
+			owner := make([][]int, rounds)
+			val := make([][]uint64, rounds)
+			r := &stressRand{s: seed * 977}
+			for rd := 0; rd < rounds; rd++ {
+				owner[rd] = make([]int, blocks)
+				val[rd] = make([]uint64, blocks)
+				for b := 0; b < blocks; b++ {
+					owner[rd][b] = int(r.next() % nodes)
+					val[rd][b] = r.next()
+				}
+			}
+			blockVA := func(b int) mem.VA { return seg.At(uint64(b * 32)) }
+
+			_, err := m.Run(func(p *machine.Proc) {
+				pr := &stressRand{s: seed + uint64(p.ID())*131}
+				for rd := 0; rd < rounds; rd++ {
+					for b := 0; b < blocks; b++ {
+						if owner[rd][b] == p.ID() {
+							p.WriteU64(blockVA(b), val[rd][b])
+						}
+					}
+					p.Barrier()
+					for b := p.ID(); b < blocks; b += 2 {
+						switch pr.next() % 4 {
+						case 0:
+							st.Prefetch(p, blockVA(b))
+							p.Compute(20)
+							fallthrough
+						case 1, 2:
+							if got := p.ReadU64(blockVA(b)); got != val[rd][b] {
+								t.Errorf("round %d block %d: node %d read %d, want %d",
+									rd, b, p.ID(), got, val[rd][b])
+							}
+						case 3:
+							if got := p.ReadU64(blockVA(b)); got != val[rd][b] {
+								t.Errorf("round %d block %d: node %d read %d, want %d",
+									rd, b, p.ID(), got, val[rd][b])
+							}
+							st.CheckIn(p, blockVA(b))
+						}
+					}
+					p.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Add("b", 5)
+	if c.Get("a") != 3 || c.Get("b") != 5 || c.Get("missing") != 0 {
+		t.Fatalf("values: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merged: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+	if b.Get("x") != 2 {
+		t.Fatal("merge mutated source")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	c := NewCounters()
+	c.Add("k", 7)
+	snap := c.Snapshot()
+	snap["k"] = 99
+	if c.Get("k") != 7 {
+		t.Fatal("snapshot aliases the counter map")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "23456")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// All data rows align: the value column starts at the same offset.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:] {
+		if len(ln) < idx {
+			t.Errorf("row too short: %q", ln)
+		}
+	}
+	if !strings.Contains(out, "-----") {
+		t.Error("missing rule line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if D(42) != "42" {
+		t.Errorf("D = %q", D(42))
+	}
+}
+
+// Property: merge is additive for any pair of counter sets.
+func TestMergeProperty(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		a, b := NewCounters(), NewCounters()
+		var sum uint64
+		for _, v := range av {
+			a.Add("k", uint64(v))
+			sum += uint64(v)
+		}
+		for _, v := range bv {
+			b.Add("k", uint64(v))
+			sum += uint64(v)
+		}
+		a.Merge(b)
+		return a.Get("k") == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

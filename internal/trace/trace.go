@@ -1,0 +1,127 @@
+// Package trace records protocol-level events — block faults, message
+// sends and deliveries, thread resumes, page faults — with simulated
+// timestamps, for debugging user-level protocols. Tracing is off unless
+// a Tracer is attached to the Typhoon system; the hot paths pay only a
+// nil check.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KBlockFault Kind = iota
+	KPageFault
+	KMsgSend
+	KMsgRecv
+	KResume
+	KTagChange
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KBlockFault:
+		return "block-fault"
+	case KPageFault:
+		return "page-fault"
+	case KMsgSend:
+		return "msg-send"
+	case KMsgRecv:
+		return "msg-recv"
+	case KResume:
+		return "resume"
+	case KTagChange:
+		return "tag-change"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	T    sim.Time
+	Node int
+	Kind Kind
+	VA   mem.VA
+	// Aux carries a kind-specific value: the handler ID for messages,
+	// the new tag for tag changes, 1 for writes on faults.
+	Aux uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10d node%-3d %-12s va=%#x aux=%d", e.T, e.Node, e.Kind, e.VA, e.Aux)
+}
+
+// Tracer collects events up to a cap (oldest kept), with an optional
+// filter.
+type Tracer struct {
+	// Filter, when non-nil, drops events it returns false for.
+	Filter func(Event) bool
+	// Max bounds the number of retained events; zero means 1<<20.
+	Max int
+
+	events  []Event
+	dropped uint64
+}
+
+// New returns an unbounded-filter tracer retaining up to max events.
+func New(max int) *Tracer { return &Tracer{Max: max} }
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if t.Filter != nil && !t.Filter(e) {
+		return
+	}
+	max := t.Max
+	if max == 0 {
+		max = 1 << 20
+	}
+	if len(t.events) >= max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events in emission order.
+func (t *Tracer) Events() []Event { return t.events }
+
+// Dropped reports how many events the cap discarded.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Reset clears the trace.
+func (t *Tracer) Reset() {
+	t.events = t.events[:0]
+	t.dropped = 0
+}
+
+// Dump writes the trace, one event per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, e := range t.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if t.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped at cap)\n", t.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind tallies the trace.
+func (t *Tracer) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range t.events {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/trace"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+func TestTraceCapturesMissProtocol(t *testing.T) {
+	m := machine.New(machine.Config{Nodes: 2, CacheSize: 4096, Seed: 1})
+	tr := trace.New(0)
+	typhoon.New(m, stache.New(), typhoon.WithTracer(tr))
+	seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, 0)
+	if _, err := m.Run(func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.WriteU64(seg.At(0), 1)
+		}
+		p.Barrier()
+		if p.ID() == 1 {
+			p.ReadU64(seg.At(0))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.CountByKind()
+	if counts[trace.KPageFault] == 0 {
+		t.Error("no page fault traced")
+	}
+	if counts[trace.KBlockFault] == 0 {
+		t.Error("no block fault traced")
+	}
+	if counts[trace.KMsgSend] == 0 || counts[trace.KMsgRecv] == 0 {
+		t.Errorf("message events missing: %v", counts)
+	}
+	if counts[trace.KResume] == 0 {
+		t.Error("no resume traced")
+	}
+	// The canonical order for node 1's miss: page fault, block fault,
+	// request send, ... , resume.
+	var sawPF, sawBF, sawSend, sawResume bool
+	for _, e := range tr.Events() {
+		switch {
+		case e.Kind == trace.KPageFault && e.Node == 1:
+			sawPF = true
+		case e.Kind == trace.KBlockFault && e.Node == 1:
+			if !sawPF {
+				t.Fatal("block fault before page fault")
+			}
+			sawBF = true
+		case e.Kind == trace.KMsgSend && e.Node == 1 && !sawSend && sawBF:
+			sawSend = true
+		case e.Kind == trace.KResume && e.Node == 1:
+			if !sawSend {
+				t.Fatal("resume before the request was sent")
+			}
+			sawResume = true
+		}
+	}
+	if !sawResume {
+		t.Fatal("node 1 never resumed")
+	}
+}
+
+func TestTraceFilterAndCap(t *testing.T) {
+	tr := trace.New(2)
+	tr.Filter = func(e trace.Event) bool { return e.Kind == trace.KResume }
+	tr.Emit(trace.Event{Kind: trace.KMsgSend})
+	tr.Emit(trace.Event{Kind: trace.KResume, T: 1})
+	tr.Emit(trace.Event{Kind: trace.KResume, T: 2})
+	tr.Emit(trace.Event{Kind: trace.KResume, T: 3}) // over cap
+	if len(tr.Events()) != 2 {
+		t.Fatalf("events = %d, want 2", len(tr.Events()))
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTraceDump(t *testing.T) {
+	tr := trace.New(10)
+	tr.Emit(trace.Event{T: 42, Node: 3, Kind: trace.KTagChange, VA: 0x1000, Aux: 2})
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"42", "node3", "tag-change", "0x1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []trace.Kind{trace.KBlockFault, trace.KPageFault, trace.KMsgSend,
+		trace.KMsgRecv, trace.KResume, trace.KTagChange, trace.Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", k)
+		}
+	}
+}

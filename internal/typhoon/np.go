@@ -1,0 +1,365 @@
+package typhoon
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/cache"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/network"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+	"github.com/tempest-sim/tempest/internal/trace"
+	"github.com/tempest-sim/tempest/internal/vm"
+)
+
+// npHot is the NP's hot-path counter block (plain fields, folded into the
+// system counters at report time).
+type npHot struct {
+	dispatches    uint64
+	msgHandlers   uint64
+	faultHandlers uint64
+	bafs          uint64
+	rtlbMisses    uint64
+	tlbMisses     uint64
+	sends         uint64
+	instructions  uint64
+	bulkPackets   uint64
+}
+
+// NP is one node's network-interface processor: a user-level programmable
+// integer core coupled to the network interface, with its own TLB, a
+// reverse TLB for tag lookups, a data cache for handler state, and the
+// block-transfer unit (paper Figure 2).
+type NP struct {
+	sys  *System
+	node int
+	ctx  *sim.Context
+	ep   *network.Endpoint
+
+	tlb    *cache.TLB   // NP virtual-address TLB
+	rtlb   *cache.TLB   // reverse TLB: physical page -> tag residency
+	dcache *cache.Cache // NP data cache (handler data structures)
+
+	faults   []Fault
+	bulk     []*bulkTransfer
+	bulkDone map[int][]*bulkTransfer // outstanding transfers by destination
+	frags    map[fragKey]*fragBuf
+
+	hot      npHot
+	lastFold npHot
+}
+
+// Node returns the NP's node ID.
+func (np *NP) Node() int { return np.node }
+
+// Time returns the NP's local clock (for unpark timestamps in custom
+// protocol handlers).
+func (np *NP) Time() sim.Time { return np.ctx.Time() }
+
+// System returns the owning Typhoon system.
+func (np *NP) System() *System { return np.sys }
+
+// Machine returns the simulated machine.
+func (np *NP) Machine() *machine.Machine { return np.sys.M }
+
+// Mem returns the node's local memory.
+func (np *NP) Mem() *mem.Memory { return np.sys.M.Mems[np.node] }
+
+// Proc returns the node's compute processor.
+func (np *NP) Proc() *machine.Proc { return np.sys.M.Procs[np.node] }
+
+func (np *NP) deliveryNotify(at sim.Time) { np.ctx.Unpark(at) }
+
+func (np *NP) postFault(f Fault) {
+	np.faults = append(np.faults, f)
+	np.ctx.Unpark(f.Proc.Ctx.Time())
+}
+
+// loop is the NP's software dispatch loop (paper §5.1): the dispatch
+// hardware constructs a handler PC from an incoming message or from
+// status bits (a logged block access fault); the loop reads it and jumps.
+// Reply messages outrank faults, which outrank requests; every handler
+// runs to completion.
+func (np *NP) loop(c *sim.Context) {
+	for {
+		switch {
+		case np.ep.PendingOn(network.VNetReply) > 0:
+			np.runMessage(c, np.ep.Dequeue())
+		case len(np.faults) > 0:
+			f := np.faults[0]
+			copy(np.faults, np.faults[1:])
+			np.faults = np.faults[:len(np.faults)-1]
+			np.runFault(c, f)
+		case np.ep.PendingOn(network.VNetRequest) > 0:
+			np.runMessage(c, np.ep.Dequeue())
+		case len(np.bulk) > 0:
+			// The block-transfer thread runs only when no messages or
+			// faults are waiting (§5.2).
+			np.runBulkChunk(c)
+		default:
+			c.Park("np idle")
+		}
+	}
+}
+
+func (np *NP) runMessage(c *sim.Context, pkt *network.Packet) {
+	h, ok := np.sys.handlers[pkt.Handler]
+	if !ok {
+		panic(fmt.Sprintf("typhoon: np%d received message for unregistered handler %d", np.node, pkt.Handler))
+	}
+	np.hot.dispatches++
+	np.hot.msgHandlers++
+	c.SyncTo(pkt.DeliveredAt) // an idle NP was waiting, not time-travelling
+	if np.sys.tracer != nil {
+		np.sys.tracer.Emit(trace.Event{T: c.Time(), Node: np.node, Kind: trace.KMsgRecv, Aux: uint64(pkt.Handler)})
+	}
+	c.Advance(DispatchCycles + np.sys.software.DispatchOverhead)
+	t0 := c.Time()
+	h(np, pkt)
+	if np.sys.software.StealHandlerCycles {
+		np.sys.M.StealCycles(np.node, c.Time()-t0+np.sys.software.DispatchOverhead)
+	}
+}
+
+func (np *NP) runFault(c *sim.Context, f Fault) {
+	ops, ok := np.sys.modes[f.Mode]
+	if !ok || ops.BlockFault == nil {
+		panic(fmt.Sprintf("typhoon: np%d has no block-fault handler for mode %d (va %#x)", np.node, f.Mode, f.VA))
+	}
+	np.hot.dispatches++
+	np.hot.faultHandlers++
+	c.SyncTo(f.PostedAt)
+	c.Advance(DispatchCycles + np.sys.software.DispatchOverhead)
+	t0 := c.Time()
+	ops.BlockFault(np, f)
+	if np.sys.software.StealHandlerCycles {
+		np.sys.M.StealCycles(np.node, c.Time()-t0+np.sys.software.DispatchOverhead)
+	}
+}
+
+// Charge accounts n handler instructions at one cycle each (paper §6).
+func (np *NP) Charge(n int) {
+	np.hot.instructions += uint64(n)
+	np.ctx.Advance(sim.Time(n))
+}
+
+// MemRef times one handler data-structure reference (directory state,
+// per-page bookkeeping) through the NP data cache: one cycle on a hit,
+// a local memory access on a miss.
+func (np *NP) MemRef(addr mem.PA, write bool) {
+	hit, upgrade := np.dcache.Probe(addr, write)
+	if hit {
+		np.ctx.Advance(1)
+		return
+	}
+	if upgrade {
+		np.dcache.Upgrade(addr)
+		np.ctx.Advance(1)
+		return
+	}
+	np.dcache.Fill(addr, cache.LineExclusive)
+	np.ctx.Advance(np.sys.M.Cfg.LocalMissCycles)
+}
+
+// Translate resolves va through the NP's TLB and the node's page table,
+// charging the TLB refill on a miss. ok is false when the page is
+// unmapped — a user programming error for NP handlers in the paper's
+// model (§5.1); callers decide whether to panic or handle it.
+func (np *NP) Translate(va mem.VA) (mem.PA, vm.PTE, bool) {
+	if !np.tlb.Lookup(va.VPN()) {
+		np.hot.tlbMisses++
+		np.ctx.Advance(np.sys.M.Cfg.TLBMissCycles)
+	}
+	return np.sys.M.VM.Translate(np.node, va)
+}
+
+func (np *NP) mustTranslate(va mem.VA) mem.PA {
+	pa, _, ok := np.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("typhoon: np%d handler touched unmapped address %#x (NP page fault is a user error, §5.1)", np.node, va))
+	}
+	return pa
+}
+
+// --- Fine-grain access control (Table 1, NP side) ---
+
+// ReadTag returns va's block tag (Table 1: read-tag).
+func (np *NP) ReadTag(va mem.VA) mem.Tag {
+	pa := np.mustTranslate(va)
+	np.chargeTagOp(pa)
+	return np.Mem().Tag(pa)
+}
+
+// SetTag sets va's block tag (Table 1: set-RW / set-RO and Busy marking).
+func (np *NP) SetTag(va mem.VA, t mem.Tag) {
+	pa := np.mustTranslate(va)
+	np.chargeTagOp(pa)
+	if np.sys.tracer != nil {
+		np.sys.tracer.Emit(trace.Event{T: np.ctx.Time(), Node: np.node, Kind: trace.KTagChange, VA: va, Aux: uint64(t)})
+	}
+	np.Mem().SetTag(pa, t)
+}
+
+// Invalidate sets va's block tag to Invalid and purges any copy from the
+// local CPU cache via the bus (Table 1: invalidate; §5.4).
+func (np *NP) Invalidate(va mem.VA) {
+	pa := np.mustTranslate(va)
+	np.chargeTagOp(pa)
+	np.Mem().SetTag(pa, mem.TagInvalid)
+	np.sys.M.Caches[np.node].Invalidate(pa)
+}
+
+// DowngradeCPU demotes the local CPU's cached copy of va's block to
+// Shared (used when a home grants a read-only copy elsewhere while the
+// local CPU holds the block owned).
+func (np *NP) DowngradeCPU(va mem.VA) {
+	pa := np.mustTranslate(va)
+	np.sys.M.Caches[np.node].Downgrade(pa)
+}
+
+func (np *NP) chargeTagOp(pa mem.PA) {
+	if !np.rtlb.Lookup(uint64(pa.FrameBase())) {
+		np.hot.rtlbMisses++
+		np.ctx.Advance(np.sys.M.Cfg.TLBMissCycles)
+	}
+	np.ctx.Advance(TagOpCycles)
+}
+
+// Resume restarts the suspended compute thread (Table 1: resume; §5.4
+// unmasks the CPU's bus request line so it retries the transaction). The
+// NP yields so the retried bus transaction wins arbitration over the
+// NP's next handler — without this, a queued invalidation could steal
+// the freshly installed block before the CPU consumes it, livelocking
+// the faulting access.
+func (np *NP) Resume(p *machine.Proc) {
+	np.ctx.Advance(ResumeCycles)
+	if np.sys.tracer != nil {
+		np.sys.tracer.Emit(trace.Event{T: np.ctx.Time(), Node: np.node, Kind: trace.KResume})
+	}
+	p.Ctx.Unpark(np.ctx.Time())
+	np.ctx.Yield()
+}
+
+// --- Force accesses (Table 1: force-read / force-write) ---
+// NP memory accesses bypass RTLB tag checking (§5.4).
+
+// ForceReadU64 reads a word regardless of tags.
+func (np *NP) ForceReadU64(va mem.VA) uint64 {
+	pa := np.mustTranslate(va)
+	np.ctx.Advance(1)
+	return np.Mem().ReadU64(pa)
+}
+
+// ForceWriteU64 writes a word regardless of tags.
+func (np *NP) ForceWriteU64(va mem.VA, v uint64) {
+	pa := np.mustTranslate(va)
+	np.ctx.Advance(1)
+	np.Mem().WriteU64(pa, v)
+}
+
+// ForceReadBlock copies va's whole block into a fresh buffer using the
+// block-transfer unit.
+func (np *NP) ForceReadBlock(va mem.VA) []byte {
+	pa := np.mustTranslate(va)
+	np.ctx.Advance(BlockXferCycles)
+	buf := make([]byte, np.Mem().BlockSize())
+	np.Mem().ReadBlock(pa, buf)
+	return buf
+}
+
+// ForceWriteBlock writes a whole block regardless of tags, through the
+// block-transfer unit (the data-arrival path of Stache, §3).
+func (np *NP) ForceWriteBlock(va mem.VA, data []byte) {
+	pa := np.mustTranslate(va)
+	np.ctx.Advance(BlockXferCycles)
+	np.Mem().WriteBlock(pa, data)
+}
+
+// --- Page state (the RTLB's uninterpreted per-page words, §5.4) ---
+
+// FrameOf returns the frame backing va on this node, for access to the
+// per-page protocol state (Home, User).
+func (np *NP) FrameOf(va mem.VA) *mem.Frame {
+	pa := np.mustTranslate(va)
+	return np.Mem().Frame(pa)
+}
+
+// --- Messaging (§2.1, §5.1) ---
+
+// Send queues an active message from this NP: setup plus one cycle per
+// 32-bit word, with block payloads moved by the block-transfer unit.
+// Messages exceeding the twenty-word packet limit are fragmented
+// transparently (frag.go).
+func (np *NP) Send(vnet network.VNet, dst int, handler uint32, args []uint64, data []byte) {
+	np.hot.sends++
+	if np.sys.tracer != nil {
+		np.sys.tracer.Emit(trace.Event{T: np.ctx.Time(), Node: np.node, Kind: trace.KMsgSend, Aux: uint64(handler)})
+	}
+	cost := SendSetupCycles + SendPerWordCycles*sim.Time(1+2*len(args))
+	if len(data) > 0 {
+		cost += BlockXferCycles * sim.Time((len(data)+31)/32)
+	}
+	np.ctx.Advance(cost)
+	pkt := &network.Packet{
+		Src: np.node, Dst: dst, VNet: vnet,
+		Handler: handler, Args: args, Data: data,
+	}
+	if pkt.PayloadBytes() > network.MaxPayloadBytes {
+		np.sys.sendFragmented(np.ctx.Advance, np.node, vnet, dst, handler, args, data)
+		return
+	}
+	np.sys.M.Net.Send(pkt)
+}
+
+// SendRequest sends on the low-priority request network.
+func (np *NP) SendRequest(dst int, handler uint32, args []uint64, data []byte) {
+	np.Send(network.VNetRequest, dst, handler, args, data)
+}
+
+// SendReply sends on the high-priority reply network.
+func (np *NP) SendReply(dst int, handler uint32, args []uint64, data []byte) {
+	np.Send(network.VNetReply, dst, handler, args, data)
+}
+
+func (np *NP) fold(c *stats.Counters) {
+	d := np.hot
+	l := np.lastFold
+	c.Add("np.dispatches", d.dispatches-l.dispatches)
+	c.Add("np.msg_handlers", d.msgHandlers-l.msgHandlers)
+	c.Add("np.fault_handlers", d.faultHandlers-l.faultHandlers)
+	c.Add("np.block_access_faults", d.bafs-l.bafs)
+	c.Add("np.rtlb_misses", d.rtlbMisses-l.rtlbMisses)
+	c.Add("np.tlb_misses", d.tlbMisses-l.tlbMisses)
+	c.Add("np.sends", d.sends-l.sends)
+	c.Add("np.instructions", d.instructions-l.instructions)
+	c.Add("np.bulk_packets", d.bulkPackets-l.bulkPackets)
+	np.lastFold = d
+}
+
+// ForceReadPage copies va's whole page into a fresh buffer via repeated
+// block transfers (for page-grain custom protocols).
+func (np *NP) ForceReadPage(va mem.VA) []byte {
+	pa := np.mustTranslate(va.PageBase())
+	np.ctx.Advance(BlockXferCycles * sim.Time(mem.PageSize/32))
+	buf := make([]byte, mem.PageSize)
+	np.Mem().ReadRange(pa, buf)
+	return buf
+}
+
+// ForceWritePage writes a whole page regardless of tags.
+func (np *NP) ForceWritePage(va mem.VA, data []byte) {
+	if len(data) != mem.PageSize {
+		panic(fmt.Sprintf("typhoon: ForceWritePage with %d bytes", len(data)))
+	}
+	pa := np.mustTranslate(va.PageBase())
+	np.ctx.Advance(BlockXferCycles * sim.Time(mem.PageSize/32))
+	np.Mem().WriteRange(pa, data)
+}
+
+// SetPageTags sets every block tag in va's page (one RTLB entry update).
+func (np *NP) SetPageTags(va mem.VA, t mem.Tag) {
+	pa := np.mustTranslate(va.PageBase())
+	np.chargeTagOp(pa)
+	np.Mem().SetPageTags(pa, t)
+}

@@ -1,0 +1,274 @@
+// Package vm models the user-level virtual-memory management mechanisms
+// of the Tempest interface (paper §2.3): a flat paged address space per
+// node with a user-reserved shared heap segment, explicit page
+// map/unmap/remap, page modes that select user-level fault handlers, and
+// the distributed table mapping shared virtual pages to their home nodes.
+// The package provides mechanism only; replication and coherence policy
+// live in the protocol libraries (internal/stache, internal/dirnnb,
+// application-specific protocols).
+package vm
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/mem"
+)
+
+// Address-space layout. Each node has private text/stack/heap segments
+// (we model only the private heap; the paper ignores text and stack) and
+// all nodes share one large user-reserved shared heap segment.
+const (
+	// PrivateBase is the base of each node's private heap.
+	PrivateBase mem.VA = 0x0000_1000_0000
+	// SharedBase is the base of the user-reserved shared segment.
+	SharedBase mem.VA = 0x4000_0000_0000
+)
+
+// IsShared reports whether va falls in the shared segment.
+func IsShared(va mem.VA) bool { return va >= SharedBase }
+
+// Page modes. Mode selects the set of user-level handlers that serve a
+// page's faults (the RTLB's page-mode field, paper §5.4). Values at or
+// above ModeUser are free for protocol libraries; Stache and custom
+// protocols register their own.
+const (
+	// ModePrivate pages are node-local with no coherence semantics.
+	ModePrivate = 0
+	// ModeUser is the first mode value available to protocol software.
+	ModeUser = 1
+)
+
+// PTE is one page-table entry.
+type PTE struct {
+	PA mem.PA
+	// Writable is the page-level protection bit (coarse-grain access
+	// control, §2.3). Fine-grain control is per-block via tags.
+	Writable bool
+	// Mode selects the page's fault handlers.
+	Mode int
+}
+
+// PageTable is one node's virtual-to-physical mapping.
+type PageTable struct {
+	node    int
+	entries map[uint64]PTE
+}
+
+// NewPageTable returns an empty table for node.
+func NewPageTable(node int) *PageTable {
+	return &PageTable{node: node, entries: make(map[uint64]PTE)}
+}
+
+// Lookup returns the PTE for a virtual page number.
+func (pt *PageTable) Lookup(vpn uint64) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	return e, ok
+}
+
+// Map installs (or replaces) a translation. Protocol code remaps stache
+// pages with it (paper §3: "these pages can be remapped or unmapped and
+// freed").
+func (pt *PageTable) Map(vpn uint64, e PTE) { pt.entries[vpn] = e }
+
+// Unmap removes a translation, returning the old entry.
+func (pt *PageTable) Unmap(vpn uint64) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	if ok {
+		delete(pt.entries, vpn)
+	}
+	return e, ok
+}
+
+// Mapped returns the number of live translations.
+func (pt *PageTable) Mapped() int { return len(pt.entries) }
+
+// Placement assigns shared pages to home nodes.
+type Placement interface {
+	// HomeFor returns the home node for the pageIdx'th page of a
+	// segment, or -1 to defer the decision to first touch.
+	HomeFor(pageIdx, nodes int) int
+	String() string
+}
+
+// RoundRobin distributes pages cyclically — IVY's fixed distributed
+// manager algorithm, Stache's default (paper §7).
+type RoundRobin struct{}
+
+// HomeFor implements Placement.
+func (RoundRobin) HomeFor(pageIdx, nodes int) int { return pageIdx % nodes }
+func (RoundRobin) String() string                 { return "round-robin" }
+
+// Blocked gives each node one contiguous run of pages (owner-computes
+// layouts want this).
+type Blocked struct{}
+
+// HomeFor implements Placement.
+func (Blocked) HomeFor(pageIdx, nodes int) int { return -2 } // resolved by segment size
+func (Blocked) String() string                 { return "blocked" }
+
+// OnNode places every page of the segment on one node.
+type OnNode struct{ Node int }
+
+// HomeFor implements Placement.
+func (p OnNode) HomeFor(pageIdx, nodes int) int { return p.Node }
+func (p OnNode) String() string                 { return fmt.Sprintf("on-node-%d", p.Node) }
+
+// FirstTouch defers home assignment to the first access (the DirNNB
+// improvement discussed in paper §6, used in the placement ablation).
+type FirstTouch struct{}
+
+// HomeFor implements Placement.
+func (FirstTouch) HomeFor(pageIdx, nodes int) int { return -1 }
+func (FirstTouch) String() string                 { return "first-touch" }
+
+// Segment is one allocation in the shared segment.
+type Segment struct {
+	Name  string
+	Base  mem.VA
+	Size  uint64
+	Mode  int
+	Place Placement
+}
+
+// At returns the virtual address at byte offset off.
+func (s *Segment) At(off uint64) mem.VA {
+	if off >= s.Size {
+		panic(fmt.Sprintf("vm: offset %d out of segment %q (size %d)", off, s.Name, s.Size))
+	}
+	return s.Base + mem.VA(off)
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() mem.VA { return s.Base + mem.VA(s.Size) }
+
+// Pages returns the number of pages the segment spans.
+func (s *Segment) Pages() int {
+	return int((uint64(s.Base.PageOffset()) + s.Size + mem.PageSize - 1) / mem.PageSize)
+}
+
+// System is the machine-wide address-space state: per-node page tables,
+// the segment list, and the distributed home-mapping table.
+type System struct {
+	nodes    int
+	tables   []*PageTable
+	nextVA   mem.VA
+	nextPriv []mem.VA
+	segs     []*Segment
+	homes    map[uint64]int // shared VPN -> home node (-1 = first touch pending)
+}
+
+// NewSystem returns an address-space manager for n nodes.
+func NewSystem(n int) *System {
+	s := &System{
+		nodes:  n,
+		nextVA: SharedBase,
+		homes:  make(map[uint64]int),
+	}
+	for i := 0; i < n; i++ {
+		s.tables = append(s.tables, NewPageTable(i))
+		s.nextPriv = append(s.nextPriv, PrivateBase)
+	}
+	return s
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return s.nodes }
+
+// Table returns node's page table.
+func (s *System) Table(node int) *PageTable { return s.tables[node] }
+
+// Segments returns the allocated shared segments.
+func (s *System) Segments() []*Segment { return s.segs }
+
+// AllocShared reserves a page-aligned range of the shared segment and
+// records each page's home node in the distributed mapping table. It does
+// not allocate frames: what a mapping means is protocol policy.
+func (s *System) AllocShared(name string, size uint64, place Placement, mode int) *Segment {
+	if size == 0 {
+		panic("vm: zero-size shared allocation")
+	}
+	if place == nil {
+		place = RoundRobin{}
+	}
+	base := s.nextVA
+	pages := int((size + mem.PageSize - 1) / mem.PageSize)
+	s.nextVA += mem.VA(pages * mem.PageSize)
+	seg := &Segment{Name: name, Base: base, Size: size, Mode: mode, Place: place}
+	s.segs = append(s.segs, seg)
+	for i := 0; i < pages; i++ {
+		vpn := (base + mem.VA(i*mem.PageSize)).VPN()
+		home := place.HomeFor(i, s.nodes)
+		if _, blocked := place.(Blocked); blocked {
+			// Contiguous runs of ceil(pages/nodes) pages per node.
+			per := (pages + s.nodes - 1) / s.nodes
+			home = i / per
+			if home >= s.nodes {
+				home = s.nodes - 1
+			}
+		}
+		s.homes[vpn] = home
+	}
+	return seg
+}
+
+// Home returns the home node of a shared page, or -1 if the page is
+// first-touch and unclaimed. It panics for addresses outside the shared
+// segment.
+func (s *System) Home(va mem.VA) int {
+	home, ok := s.homes[va.VPN()]
+	if !ok {
+		panic(fmt.Sprintf("vm: %#x is not an allocated shared address", va))
+	}
+	return home
+}
+
+// ClaimHome resolves a first-touch page to the given node. It returns the
+// now-current home (an earlier claimant wins races).
+func (s *System) ClaimHome(va mem.VA, node int) int {
+	vpn := va.VPN()
+	home, ok := s.homes[vpn]
+	if !ok {
+		panic(fmt.Sprintf("vm: %#x is not an allocated shared address", va))
+	}
+	if home == -1 {
+		s.homes[vpn] = node
+		return node
+	}
+	return home
+}
+
+// AllocPrivate reserves size bytes of node-private address space and maps
+// frames for it from the node's memory, tagged ReadWrite with
+// ModePrivate. Private pages have no coherence semantics.
+func (s *System) AllocPrivate(node int, size uint64, m *mem.Memory) (mem.VA, error) {
+	if size == 0 {
+		panic("vm: zero-size private allocation")
+	}
+	base := s.nextPriv[node]
+	pages := int((size + mem.PageSize - 1) / mem.PageSize)
+	s.nextPriv[node] += mem.VA(pages * mem.PageSize)
+	for i := 0; i < pages; i++ {
+		pa, err := m.AllocFrame(mem.TagReadWrite)
+		if err != nil {
+			return 0, fmt.Errorf("vm: private alloc on node %d: %w", node, err)
+		}
+		s.tables[node].Map(base.VPN()+uint64(i), PTE{PA: pa, Writable: true, Mode: ModePrivate})
+	}
+	return base, nil
+}
+
+// Translate resolves va on node, returning the physical address and PTE.
+// ok is false when the page is unmapped (a page fault in Typhoon).
+func (s *System) Translate(node int, va mem.VA) (mem.PA, PTE, bool) {
+	pte, ok := s.tables[node].Lookup(va.VPN())
+	if !ok {
+		return 0, PTE{}, false
+	}
+	return pte.PA.FrameBase() + mem.PA(va.PageOffset()), pte, true
+}
+
+// MapPage installs a writable translation for va's page with the given
+// mode — the common protocol-handler idiom.
+func (pt *PageTable) MapPage(va mem.VA, pa mem.PA, mode int) {
+	pt.Map(va.VPN(), PTE{PA: pa.FrameBase(), Writable: true, Mode: mode})
+}

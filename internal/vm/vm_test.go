@@ -1,0 +1,242 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tempest-sim/tempest/internal/mem"
+)
+
+func TestSharedAllocLayout(t *testing.T) {
+	s := NewSystem(4)
+	a := s.AllocShared("a", 3*mem.PageSize, RoundRobin{}, ModeUser)
+	b := s.AllocShared("b", 100, RoundRobin{}, ModeUser)
+	if a.Base != SharedBase {
+		t.Fatalf("first segment base = %#x", a.Base)
+	}
+	if b.Base != SharedBase+3*mem.PageSize {
+		t.Fatalf("second segment base = %#x, want page-aligned after first", b.Base)
+	}
+	if a.Pages() != 3 || b.Pages() != 1 {
+		t.Fatalf("pages = %d, %d", a.Pages(), b.Pages())
+	}
+	if !IsShared(a.Base) || IsShared(PrivateBase) {
+		t.Fatal("IsShared misclassifies")
+	}
+}
+
+func TestSegmentAtBounds(t *testing.T) {
+	s := NewSystem(2)
+	seg := s.AllocShared("x", 64, RoundRobin{}, ModeUser)
+	if seg.At(0) != seg.Base || seg.At(63) != seg.Base+63 {
+		t.Fatal("At arithmetic wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At past end must panic")
+		}
+	}()
+	seg.At(64)
+}
+
+func TestRoundRobinHomes(t *testing.T) {
+	s := NewSystem(4)
+	seg := s.AllocShared("rr", 8*mem.PageSize, RoundRobin{}, ModeUser)
+	for i := 0; i < 8; i++ {
+		home := s.Home(seg.At(uint64(i * mem.PageSize)))
+		if home != i%4 {
+			t.Fatalf("page %d home = %d, want %d", i, home, i%4)
+		}
+	}
+}
+
+func TestBlockedHomes(t *testing.T) {
+	s := NewSystem(4)
+	seg := s.AllocShared("blk", 8*mem.PageSize, Blocked{}, ModeUser)
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i := 0; i < 8; i++ {
+		if home := s.Home(seg.At(uint64(i * mem.PageSize))); home != want[i] {
+			t.Fatalf("page %d home = %d, want %d", i, home, want[i])
+		}
+	}
+}
+
+func TestBlockedHomesUneven(t *testing.T) {
+	s := NewSystem(3)
+	seg := s.AllocShared("blk", 7*mem.PageSize, Blocked{}, ModeUser)
+	for i := 0; i < 7; i++ {
+		home := s.Home(seg.At(uint64(i * mem.PageSize)))
+		if home < 0 || home >= 3 {
+			t.Fatalf("page %d home = %d out of range", i, home)
+		}
+	}
+	// Last page must land on the last node, not past it.
+	if home := s.Home(seg.At(6 * mem.PageSize)); home != 2 {
+		t.Fatalf("last page home = %d, want 2", home)
+	}
+}
+
+func TestOnNodeHomes(t *testing.T) {
+	s := NewSystem(4)
+	seg := s.AllocShared("on2", 3*mem.PageSize, OnNode{Node: 2}, ModeUser)
+	for i := 0; i < 3; i++ {
+		if home := s.Home(seg.At(uint64(i * mem.PageSize))); home != 2 {
+			t.Fatalf("page %d home = %d, want 2", i, home)
+		}
+	}
+}
+
+func TestFirstTouchClaim(t *testing.T) {
+	s := NewSystem(4)
+	seg := s.AllocShared("ft", 2*mem.PageSize, FirstTouch{}, ModeUser)
+	va := seg.At(0)
+	if s.Home(va) != -1 {
+		t.Fatal("first-touch page should be unclaimed")
+	}
+	if got := s.ClaimHome(va, 3); got != 3 {
+		t.Fatalf("claim = %d, want 3", got)
+	}
+	if got := s.ClaimHome(va, 1); got != 3 {
+		t.Fatalf("second claim = %d, want original 3", got)
+	}
+	if s.Home(va) != 3 {
+		t.Fatal("home not recorded")
+	}
+	// Other page still unclaimed.
+	if s.Home(seg.At(mem.PageSize)) != -1 {
+		t.Fatal("claim leaked to sibling page")
+	}
+}
+
+func TestHomeOfUnallocatedPanics(t *testing.T) {
+	s := NewSystem(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Home(SharedBase + 0x100000)
+}
+
+func TestPageTableMapUnmap(t *testing.T) {
+	pt := NewPageTable(0)
+	pte := PTE{PA: mem.MakePA(0, 0x3000), Writable: true, Mode: 5}
+	pt.Map(7, pte)
+	got, ok := pt.Lookup(7)
+	if !ok || got != pte {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	old, ok := pt.Unmap(7)
+	if !ok || old != pte {
+		t.Fatal("Unmap did not return old entry")
+	}
+	if _, ok := pt.Lookup(7); ok {
+		t.Fatal("entry survived unmap")
+	}
+	if _, ok := pt.Unmap(7); ok {
+		t.Fatal("double unmap reported success")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	s := NewSystem(2)
+	m := mem.New(0, mem.Config{})
+	base, err := s.AllocPrivate(0, 2*mem.PageSize, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pte, ok := s.Translate(0, base+100)
+	if !ok {
+		t.Fatal("private page not mapped")
+	}
+	if pte.Mode != ModePrivate || !pte.Writable {
+		t.Fatalf("pte = %+v", pte)
+	}
+	if pa.PageOffset() != 100 {
+		t.Fatalf("pa offset = %d, want 100", pa.PageOffset())
+	}
+	if _, _, ok := s.Translate(1, base+100); ok {
+		t.Fatal("node 1 must not see node 0's private mapping")
+	}
+	if _, _, ok := s.Translate(0, SharedBase); ok {
+		t.Fatal("unmapped shared page must not translate")
+	}
+}
+
+func TestPrivateAllocsDisjoint(t *testing.T) {
+	s := NewSystem(2)
+	m := mem.New(0, mem.Config{})
+	a, _ := s.AllocPrivate(0, mem.PageSize, m)
+	b, _ := s.AllocPrivate(0, 10, m)
+	if b < a+mem.PageSize {
+		t.Fatalf("allocations overlap: %#x then %#x", a, b)
+	}
+	m.WriteU64(mustPA(t, s, 0, a), 1)
+	m.WriteU64(mustPA(t, s, 0, b), 2)
+	if m.ReadU64(mustPA(t, s, 0, a)) != 1 {
+		t.Fatal("write to b clobbered a")
+	}
+}
+
+func TestPrivateAllocOutOfFrames(t *testing.T) {
+	s := NewSystem(1)
+	m := mem.New(0, mem.Config{MaxFrames: 1})
+	if _, err := s.AllocPrivate(0, 2*mem.PageSize, m); err == nil {
+		t.Fatal("expected out-of-frames error")
+	}
+}
+
+func mustPA(t *testing.T, s *System, node int, va mem.VA) mem.PA {
+	t.Helper()
+	pa, _, ok := s.Translate(node, va)
+	if !ok {
+		t.Fatalf("translate %#x failed", va)
+	}
+	return pa
+}
+
+// Property: every page of every segment gets a home in [0, nodes) (or -1
+// for first-touch), and segments never overlap.
+func TestAllocationProperty(t *testing.T) {
+	f := func(sizes []uint16, nodesRaw uint8) bool {
+		nodes := int(nodesRaw)%8 + 1
+		s := NewSystem(nodes)
+		var prevEnd mem.VA
+		for i, sz := range sizes {
+			if len(sizes) > 20 {
+				sizes = sizes[:20]
+			}
+			size := uint64(sz) + 1
+			var place Placement
+			switch i % 4 {
+			case 0:
+				place = RoundRobin{}
+			case 1:
+				place = Blocked{}
+			case 2:
+				place = OnNode{Node: i % nodes}
+			default:
+				place = FirstTouch{}
+			}
+			seg := s.AllocShared("s", size, place, ModeUser)
+			if seg.Base < SharedBase || (prevEnd != 0 && seg.Base < prevEnd) {
+				return false
+			}
+			prevEnd = seg.Base + mem.VA(seg.Pages()*mem.PageSize)
+			for p := 0; p < seg.Pages(); p++ {
+				h := s.Home(seg.At(uint64(p * mem.PageSize)))
+				if _, ft := place.(FirstTouch); ft {
+					if h != -1 {
+						return false
+					}
+				} else if h < 0 || h >= nodes {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
