@@ -1,0 +1,24 @@
+# Developer and CI entry points. `make ci` is what the GitHub Actions
+# workflow runs: vet, build, and the full test suite under the race
+# detector (the parallel harness runner depends on -race staying green).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	tempest "github.com/tempest-sim/tempest"
 	"github.com/tempest-sim/tempest/internal/harness"
-	"github.com/tempest-sim/tempest/internal/sim"
 )
 
 // BenchmarkTable1TagOps measures the fine-grain access-control substrate
@@ -42,14 +42,13 @@ func BenchmarkTable1TagOps(b *testing.B) {
 // ratio the paper's +-30% claim rests on.
 func BenchmarkTable2MissLatencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		var lat [2]sim.Time
-		for j, sys := range []harness.System{harness.SysDirNNB, harness.SysStache} {
-			cfg := harness.MachineConfig(harness.ScaleReduced, 4<<10)
-			v, err := harness.MeasureRefetch(cfg, sys)
-			if err != nil {
-				b.Fatal(err)
-			}
-			lat[j] = v
+		cfg := harness.MachineConfig(harness.ScaleReduced, 4<<10)
+		lat, err := harness.MeasureRefetchAll([]harness.RefetchProbe{
+			{Config: cfg, System: harness.SysDirNNB},
+			{Config: cfg, System: harness.SysStache},
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
 		}
 		b.ReportMetric(float64(lat[0]), "dirnnb-cycles")
 		b.ReportMetric(float64(lat[1]), "stache-cycles")
@@ -76,12 +75,15 @@ func BenchmarkTable3DataSets(b *testing.B) {
 }
 
 // benchFig3 runs one benchmark's Figure 3 row at reduced scale and
-// reports each bar's relative execution time.
+// reports each bar's relative execution time. Workers is pinned to 1 so
+// the metric trajectory stays comparable across machines; see
+// BenchmarkFigure3ParallelSpeedup for the parallel-runner measurement.
 func benchFig3(b *testing.B, app string) {
 	for i := 0; i < b.N; i++ {
 		cells, err := harness.Figure3(harness.Fig3Options{
-			Scale: harness.ScaleReduced,
-			Apps:  []string{app},
+			Scale:   harness.ScaleReduced,
+			Apps:    []string{app},
+			Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -104,9 +106,10 @@ func BenchmarkFigure3EM3D(b *testing.B)   { benchFig3(b, "em3d") }
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts, err := harness.Figure4(harness.Fig4Options{
-			Scale: harness.ScaleReduced,
-			Set:   harness.SetSmall,
-			Pcts:  []int{0, 20, 50},
+			Scale:   harness.ScaleReduced,
+			Set:     harness.SetSmall,
+			Pcts:    []int{0, 20, 50},
+			Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -129,7 +132,7 @@ func metricName(label string) string {
 
 func BenchmarkAblationBlockSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationBlockSize(harness.ScaleReduced)
+		rows, err := harness.AblationBlockSize(harness.ScaleReduced, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +144,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 
 func BenchmarkAblationPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationPlacement(harness.ScaleReduced)
+		rows, err := harness.AblationPlacement(harness.ScaleReduced, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +156,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 
 func BenchmarkAblationStacheBudget(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationStacheBudget(harness.ScaleReduced)
+		rows, err := harness.AblationStacheBudget(harness.ScaleReduced, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +168,7 @@ func BenchmarkAblationStacheBudget(b *testing.B) {
 
 func BenchmarkAblationNetLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationNetLatency(harness.ScaleReduced)
+		rows, err := harness.AblationNetLatency(harness.ScaleReduced, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +218,7 @@ func BenchmarkSimBarrierThroughput(b *testing.B) {
 // update protocol, in network messages and cycles.
 func BenchmarkAblationEM3DProtocols(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationEM3DProtocols(harness.ScaleReduced, 30)
+		rows, err := harness.AblationEM3DProtocols(harness.ScaleReduced, 30, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +235,7 @@ func BenchmarkAblationEM3DProtocols(b *testing.B) {
 // extension on MP3D's scattered read-modify-write pattern.
 func BenchmarkAblationMigratory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationMigratory(harness.ScaleReduced)
+		rows, err := harness.AblationMigratory(harness.ScaleReduced, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,12 +250,40 @@ func BenchmarkAblationMigratory(b *testing.B) {
 // implementation — the paper's §2 portability claim, priced.
 func BenchmarkAblationSoftwareTempest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.AblationSoftwareTempest(harness.ScaleReduced)
+		rows, err := harness.AblationSoftwareTempest(harness.ScaleReduced, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, r := range rows {
 			b.ReportMetric(float64(r.Cycles), metricName(r.Label))
 		}
+	}
+}
+
+// BenchmarkFigure3ParallelSpeedup times the reduced Figure 3 sweep on
+// the serial path (-j 1) against the parallel runner at -j 4 and reports
+// the wall-clock speedup. Results are bit-identical at both settings
+// (TestParallelDeterminism); the speedup metric reflects the host's
+// available cores.
+func BenchmarkFigure3ParallelSpeedup(b *testing.B) {
+	opts := harness.Fig3Options{Scale: harness.ScaleReduced}
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		opts.Workers = 1
+		if _, err := harness.Figure3(opts); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+
+		t0 = time.Now()
+		opts.Workers = 4
+		if _, err := harness.Figure3(opts); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t0)
+
+		b.ReportMetric(serial.Seconds(), "serial-s")
+		b.ReportMetric(parallel.Seconds(), "parallel-j4-s")
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-j4")
 	}
 }

@@ -1,7 +1,9 @@
 // Command ablations runs the design-choice sweeps DESIGN.md catalogues:
 // coherence-block size, data placement, stache page budget, network
-// latency, migratory sharing, the EM3D protocol chain (invalidate vs.
-// check-in vs. update), and the software-Tempest comparison.
+// latency, first-touch placement, migratory sharing, the EM3D protocol
+// chain (invalidate vs. check-in vs. update), and the software-Tempest
+// comparison. Each sweep's points fan out across -j worker goroutines
+// (0 = all cores); row order and values are identical at every count.
 package main
 
 import (
@@ -13,10 +15,23 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
-	only := flag.String("only", "", "run a single ablation: blocksize, placement, budget, netlatency, migratory, em3d, software")
+	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	only := flag.String("only", "", "run a single ablation: blocksize, placement, budget, netlatency, firsttouch, migratory, em3d, software")
+	jobs := flag.Int("j", 0, "parallel simulations per sweep (0 = all cores)")
 	flag.Parse()
-	sc := harness.Scale(*scale)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(2)
+	}
+	sc, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *jobs < 0 {
+		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
+	}
+	j := *jobs
 
 	type ab struct {
 		key   string
@@ -25,22 +40,36 @@ func main() {
 	}
 	all := []ab{
 		{"blocksize", "Coherence-block size (Typhoon/Stache, EM3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc, j) }},
 		{"placement", "Data placement (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc, j) }},
 		{"budget", "Stache page budget (EM3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc, j) }},
 		{"netlatency", "Network latency sensitivity (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc, j) }},
+		{"firsttouch", "First-touch page placement (Ocean small, 4 KB caches)",
+			func() ([]harness.AblationRow, error) { return harness.AblationFirstTouch(sc, j) }},
 		{"migratory", "Migratory-sharing extension (MP3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc, j) }},
 		{"em3d", "EM3D protocol chain at 30% remote edges (paper section 4)",
-			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30, j) }},
 		{"software", "Software Tempest (Blizzard) vs. Typhoon hardware",
-			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc, j) }},
 	}
 
-	ran := 0
+	// Validate -only before running anything, not after the full sweep.
+	if *only != "" {
+		known := false
+		for _, a := range all {
+			if a.key == *only {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fail(fmt.Errorf("unknown ablation %q", *only))
+		}
+	}
 	for _, a := range all {
 		if *only != "" && a.key != *only {
 			continue
@@ -55,10 +84,5 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "ablations: unknown ablation %q\n", *only)
-		os.Exit(1)
 	}
 }

@@ -4,7 +4,9 @@
 //
 // By default it runs the reduced-scale sweep (8 nodes, scaled data sets,
 // seconds of wall time). Pass -scale paper for the full Table 3 sizes on
-// 32 simulated nodes (minutes of wall time).
+// 32 simulated nodes (minutes of wall time). Simulations fan out across
+// -j worker goroutines (0 = all cores); the output is bit-identical at
+// every worker count.
 package main
 
 import (
@@ -17,13 +19,41 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
 	appsFlag := flag.String("apps", "", "comma-separated benchmark subset (default: all five)")
+	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
-	opts := harness.Fig3Options{Scale: harness.Scale(*scale)}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fig3:", err)
+		os.Exit(2)
+	}
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *jobs < 0 {
+		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
+	}
+	opts := harness.Fig3Options{Scale: scale, Workers: *jobs}
 	if *appsFlag != "" {
-		opts.Apps = strings.Split(*appsFlag, ",")
+		for _, name := range strings.Split(*appsFlag, ",") {
+			name = strings.TrimSpace(name)
+			if !harness.ValidBench(name) {
+				fail(fmt.Errorf("unknown benchmark %q (want one of %s)",
+					name, strings.Join(harness.BenchNames, ", ")))
+			}
+			opts.Apps = append(opts.Apps, name)
+		}
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfig3: %d/%d simulations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	cells, err := harness.Figure3(opts)
 	if err != nil {

@@ -1,6 +1,8 @@
 // Command fig4 regenerates Figure 4 of the paper: EM3D cycles per edge
 // versus the percentage of non-local edges, comparing DirNNB,
 // Typhoon/Stache, and the custom Typhoon delayed-update protocol.
+// Simulations fan out across -j worker goroutines (0 = all cores); the
+// output is bit-identical at every worker count.
 package main
 
 import (
@@ -14,23 +16,47 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
-	set := flag.String("set", "large", "data set: small or large (the paper uses large)")
+	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	setFlag := flag.String("set", "large", "data set: small or large (the paper uses large)")
 	pcts := flag.String("pcts", "", "comma-separated remote-edge percentages (default 0..50 step 10)")
+	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
-	opts := harness.Fig4Options{
-		Scale: harness.Scale(*scale),
-		Set:   harness.DataSet(*set),
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fig4:", err)
+		os.Exit(2)
 	}
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fail(err)
+	}
+	set, err := harness.ParseDataSet(*setFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *jobs < 0 {
+		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
+	}
+	opts := harness.Fig4Options{Scale: scale, Set: set, Workers: *jobs}
 	if *pcts != "" {
 		for _, s := range strings.Split(*pcts, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "fig4: bad percentage:", s)
-				os.Exit(1)
+				fail(fmt.Errorf("bad percentage %q", s))
+			}
+			if v < 0 || v > 100 {
+				fail(fmt.Errorf("percentage %d outside [0, 100]", v))
 			}
 			opts.Pcts = append(opts.Pcts, v)
+		}
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfig4: %d/%d simulations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
 		}
 	}
 	pts, err := harness.Figure4(opts)

@@ -1,76 +1,117 @@
-// Command typhoon-sim runs one benchmark on one simulated target system
-// and reports execution time and event counters.
+// Command typhoon-sim runs one or more benchmarks on one simulated
+// target system and reports execution time and event counters. A
+// comma-separated -app list fans out across -j worker goroutines
+// (0 = all cores); results print in the order the apps were named.
 //
 // Examples:
 //
 //	typhoon-sim -app ocean -system typhoon-stache
 //	typhoon-sim -app em3d -system typhoon-update -set large -scale paper
 //	typhoon-sim -app barnes -system dirnnb -counters
+//	typhoon-sim -app appbt,barnes,mp3d,ocean,em3d -j 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/stats"
 )
 
 func main() {
-	app := flag.String("app", "ocean", "benchmark: appbt, barnes, mp3d, ocean, em3d")
+	appFlag := flag.String("app", "ocean", "benchmark, or comma-separated list: appbt, barnes, mp3d, ocean, em3d")
 	system := flag.String("system", "typhoon-stache", "target: dirnnb, typhoon-stache, typhoon-update (em3d only)")
-	set := flag.String("set", "small", "data set: small or large (Table 3)")
-	scale := flag.String("scale", "reduced", "workload scale: reduced or paper")
+	setFlag := flag.String("set", "small", "data set: small or large (Table 3)")
+	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
 	cacheKB := flag.Int("cache", 0, "CPU cache size in KB (0 = Table 2 default)")
 	nodes := flag.Int("nodes", 0, "node count (0 = scale default)")
 	counters := flag.Bool("counters", false, "dump all event counters")
+	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
 	flag.Parse()
 
-	mcfg := harness.MachineConfig(harness.Scale(*scale), *cacheKB<<10)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
+		os.Exit(2)
+	}
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fail(err)
+	}
+	set, err := harness.ParseDataSet(*setFlag)
+	if err != nil {
+		fail(err)
+	}
+	sys := harness.System(*system)
+	switch sys {
+	case harness.SysDirNNB, harness.SysStache, harness.SysUpdate:
+	default:
+		fail(fmt.Errorf("unknown system %q (want dirnnb, typhoon-stache, or typhoon-update)", *system))
+	}
+	if *jobs < 0 {
+		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
+	}
+	var names []string
+	for _, name := range strings.Split(*appFlag, ",") {
+		name = strings.TrimSpace(name)
+		if !harness.ValidBench(name) {
+			fail(fmt.Errorf("unknown benchmark %q (want one of %s)",
+				name, strings.Join(harness.BenchNames, ", ")))
+		}
+		if sys == harness.SysUpdate && name != "em3d" {
+			fail(fmt.Errorf("the update protocol only runs em3d, not %q", name))
+		}
+		names = append(names, name)
+	}
+
+	mcfg := harness.MachineConfig(scale, *cacheKB<<10)
 	if *nodes > 0 {
 		mcfg.Nodes = *nodes
 	}
 
-	var rr harness.RunResult
-	var err error
-	switch harness.System(*system) {
-	case harness.SysUpdate:
-		if *app != "em3d" {
-			fmt.Fprintln(os.Stderr, "typhoon-sim: the update protocol only runs em3d")
-			os.Exit(1)
-		}
-		ecfg := harness.EM3DConfig(harness.Scale(*scale), harness.DataSet(*set))
-		rr, err = harness.RunEM3DUpdate(mcfg, ecfg)
-	default:
-		bench, mkErr := harness.MakeApp(*app, harness.Scale(*scale), harness.DataSet(*set))
-		if mkErr != nil {
-			fmt.Fprintln(os.Stderr, "typhoon-sim:", mkErr)
-			os.Exit(1)
-		}
-		rr, err = harness.Run(mcfg, harness.System(*system), bench)
+	var runs []harness.Job[harness.RunResult]
+	for _, name := range names {
+		runs = append(runs, func(context.Context) (harness.RunResult, error) {
+			if sys == harness.SysUpdate {
+				return harness.RunEM3DUpdate(mcfg, harness.EM3DConfig(scale, set))
+			}
+			bench, err := harness.MakeApp(name, scale, set)
+			if err != nil {
+				return harness.RunResult{}, err
+			}
+			return harness.Run(mcfg, sys, bench)
+		})
 	}
+	results, err := harness.RunAll(runs, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s on %s (%s/%s): %d nodes, %d KB caches\n",
-		rr.App, rr.System, *scale, *set, mcfg.Nodes, mcfg.CacheSize>>10)
-	fmt.Printf("  total cycles:    %d\n", rr.Res.Cycles)
-	fmt.Printf("  measured region: %d\n", rr.Res.ROICycles)
-	fmt.Printf("  result verified against sequential reference: ok\n")
-	if *counters {
-		t := &stats.Table{Title: "event counters", Header: []string{"counter", "value"}}
-		for _, name := range rr.Res.Counters.Names() {
-			if v := rr.Res.Counters.Get(name); v > 0 {
-				t.AddRow(name, stats.D(v))
-			}
+	for i, rr := range results {
+		if i > 0 {
+			fmt.Println()
 		}
-		fmt.Println()
-		if err := t.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
-			os.Exit(1)
+		fmt.Printf("%s on %s (%s/%s): %d nodes, %d KB caches\n",
+			rr.App, rr.System, scale, set, mcfg.Nodes, mcfg.CacheSize>>10)
+		fmt.Printf("  total cycles:    %d\n", rr.Res.Cycles)
+		fmt.Printf("  measured region: %d\n", rr.Res.ROICycles)
+		fmt.Printf("  result verified against sequential reference: ok\n")
+		if *counters {
+			t := &stats.Table{Title: "event counters", Header: []string{"counter", "value"}}
+			for _, name := range rr.Res.Counters.Names() {
+				if v := rr.Res.Counters.Get(name); v > 0 {
+					t.AddRow(name, stats.D(v))
+				}
+			}
+			fmt.Println()
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"github.com/tempest-sim/tempest/internal/apps"
 	"github.com/tempest-sim/tempest/internal/apps/em3d"
 	"github.com/tempest-sim/tempest/internal/apps/ocean"
 	"github.com/tempest-sim/tempest/internal/blizzard"
@@ -22,39 +24,45 @@ type AblationRow struct {
 	Extra  map[string]uint64
 }
 
+// Every ablation takes a workers count for the RunAll pool (<= 0 = all
+// cores); each configuration point is one job, and the row order is
+// fixed by the sweep definition regardless of completion order.
+
 // AblationBlockSize sweeps the coherence-block size on Typhoon/Stache
 // (the paper fixes 32 bytes but defines blocks as 32-128 bytes, §2.4):
 // larger blocks amortise handler overhead against false sharing and
 // wasted transfer.
-func AblationBlockSize(scale Scale) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblationBlockSize(scale Scale, workers int) ([]AblationRow, error) {
+	var jobs []Job[AblationRow]
 	for _, bs := range []int{32, 64, 128} {
-		cfg := MachineConfig(scale, 0)
-		cfg.BlockSize = bs
-		app, err := MakeApp("em3d", scale, SetSmall)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := Run(cfg, SysStache, app)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label:  fmt.Sprintf("block=%dB", bs),
-			Cycles: rr.Res.ROICycles,
-			Extra: map[string]uint64{
-				"faults": rr.Res.Counters.Get("stache.remote_faults"),
-			},
+		jobs = append(jobs, func(context.Context) (AblationRow, error) {
+			cfg := MachineConfig(scale, 0)
+			cfg.BlockSize = bs
+			app, err := MakeApp("em3d", scale, SetSmall)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			rr, err := Run(cfg, SysStache, app)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Label:  fmt.Sprintf("block=%dB", bs),
+				Cycles: rr.Res.ROICycles,
+				Extra: map[string]uint64{
+					"faults": rr.Res.Counters.Get("stache.remote_faults"),
+				},
+			}, nil
 		})
 	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }
 
 // AblationPlacement quantifies paper §6's discussion that careful data
 // placement recovers much of DirNNB's disadvantage: Ocean under DirNNB
 // with the naive round-robin placement of a shared malloc versus
 // owner-aligned bands, against Typhoon/Stache which needs no placement.
-func AblationPlacement(scale Scale) ([]AblationRow, error) {
+func AblationPlacement(scale Scale, workers int) ([]AblationRow, error) {
 	cacheKB := 4
 	mcfg := MachineConfig(scale, cacheKB<<10)
 	ocfg := ocean.Small()
@@ -62,17 +70,7 @@ func AblationPlacement(scale Scale) ([]AblationRow, error) {
 		ocfg.N = 66
 	}
 
-	run := func(label string, sys System, owner bool) (AblationRow, error) {
-		c := ocfg
-		c.OwnerPlaced = owner
-		app := ocean.New(c)
-		rr, err := Run(mcfg, sys, app)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{Label: label, Cycles: rr.Res.ROICycles}, nil
-	}
-	var rows []AblationRow
+	var jobs []Job[AblationRow]
 	for _, c := range []struct {
 		label string
 		sys   System
@@ -83,118 +81,131 @@ func AblationPlacement(scale Scale) ([]AblationRow, error) {
 		{"typhoon-stache/naive", SysStache, false},
 		{"typhoon-stache/owner-placed", SysStache, true},
 	} {
-		row, err := run(c.label, c.sys, c.owner)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		jobs = append(jobs, func(context.Context) (AblationRow, error) {
+			cfg := ocfg
+			cfg.OwnerPlaced = c.owner
+			app := ocean.New(cfg)
+			rr, err := Run(mcfg, c.sys, app)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{Label: c.label, Cycles: rr.Res.ROICycles}, nil
+		})
 	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }
 
 // AblationStacheBudget sweeps the per-node stache-page budget to expose
 // the FIFO page-replacement machinery (§3: "replacements are rare" with
 // ample memory; a tight budget makes them common).
-func AblationStacheBudget(scale Scale) ([]AblationRow, error) {
+func AblationStacheBudget(scale Scale, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	mcfg := MachineConfig(scale, 0)
-	var rows []AblationRow
+	var jobs []Job[AblationRow]
 	for _, budget := range []int{0, 16, 4, 2} {
-		m := machine.New(mcfg)
-		var opts []stache.Option
-		if budget > 0 {
-			opts = append(opts, stache.WithMaxPages(budget))
-		}
-		st := stache.New(opts...)
-		typhoon.New(m, st)
-		app := em3d.New(ecfg)
-		app.Setup(m)
-		res, err := m.Run(app.Body)
-		if err != nil {
-			return nil, err
-		}
-		if err := app.Verify(m); err != nil {
-			return nil, fmt.Errorf("harness: budget=%d: %w", budget, err)
-		}
-		label := "unbounded"
-		if budget > 0 {
-			label = fmt.Sprintf("%d pages", budget)
-		}
-		rows = append(rows, AblationRow{
-			Label:  label,
-			Cycles: res.ROICycles,
-			Extra: map[string]uint64{
-				"replacements": res.Counters.Get("stache.replacements"),
-			},
+		jobs = append(jobs, func(context.Context) (AblationRow, error) {
+			m := machine.New(mcfg)
+			var opts []stache.Option
+			if budget > 0 {
+				opts = append(opts, stache.WithMaxPages(budget))
+			}
+			st := stache.New(opts...)
+			typhoon.New(m, st)
+			app := em3d.New(ecfg)
+			app.Setup(m)
+			res, err := m.Run(app.Body)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			if err := app.Verify(m); err != nil {
+				return AblationRow{}, fmt.Errorf("harness: budget=%d: %w", budget, err)
+			}
+			label := "unbounded"
+			if budget > 0 {
+				label = fmt.Sprintf("%d pages", budget)
+			}
+			return AblationRow{
+				Label:  label,
+				Cycles: res.ROICycles,
+				Extra: map[string]uint64{
+					"replacements": res.Counters.Get("stache.replacements"),
+				},
+			}, nil
 		})
 	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }
 
 // AblationNetLatency sweeps the network latency (Table 2's 11 cycles is
 // "probably optimistic for future systems" and deliberately favours
 // DirNNB; this quantifies the sensitivity the paper mentions).
-func AblationNetLatency(scale Scale) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblationNetLatency(scale Scale, workers int) ([]AblationRow, error) {
+	var jobs []Job[AblationRow]
 	for _, lat := range []sim.Time{11, 44, 88} {
 		for _, sys := range []System{SysDirNNB, SysStache} {
-			cfg := MachineConfig(scale, 4<<10)
-			cfg.NetLatency = lat
-			app, err := MakeApp("ocean", scale, SetSmall)
-			if err != nil {
-				return nil, err
-			}
-			rr, err := Run(cfg, sys, app)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Label:  fmt.Sprintf("net=%d/%s", lat, sys),
-				Cycles: rr.Res.ROICycles,
+			jobs = append(jobs, func(context.Context) (AblationRow, error) {
+				cfg := MachineConfig(scale, 4<<10)
+				cfg.NetLatency = lat
+				app, err := MakeApp("ocean", scale, SetSmall)
+				if err != nil {
+					return AblationRow{}, err
+				}
+				rr, err := Run(cfg, sys, app)
+				if err != nil {
+					return AblationRow{}, err
+				}
+				return AblationRow{
+					Label:  fmt.Sprintf("net=%d/%s", lat, sys),
+					Cycles: rr.Res.ROICycles,
+				}, nil
 			})
 		}
 	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }
 
 // AblationFirstTouch compares DirNNB's default round-robin placement
 // with first-touch page placement on MP3D (paper §6 cites Stenstrom et
 // al.'s first-touch result). First touch lands each particle page on the
 // node that initialises it — its owner.
-func AblationFirstTouch(scale Scale) ([]AblationRow, error) {
+func AblationFirstTouch(scale Scale, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 4<<10)
-	var rows []AblationRow
+	var jobs []Job[AblationRow]
 	for _, sys := range []System{SysDirNNB, SysStache} {
-		app, err := MakeApp("ocean", scale, SetSmall)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := Run(mcfg, sys, app)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Label: "round-robin/" + string(sys), Cycles: rr.Res.ROICycles})
+		jobs = append(jobs, func(context.Context) (AblationRow, error) {
+			app, err := MakeApp("ocean", scale, SetSmall)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			rr, err := Run(mcfg, sys, app)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{Label: "round-robin/" + string(sys), Cycles: rr.Res.ROICycles}, nil
+		})
 	}
 	// First-touch DirNNB: owner-placed is the steady-state equivalent
 	// (the initialising processor is the owner).
-	c := ocean.Small()
-	if scale != ScalePaper {
-		c.N = 66
-	}
-	c.OwnerPlaced = true
-	m := machine.New(mcfg)
-	dirnnb.New(m)
-	app := ocean.New(c)
-	app.Setup(m)
-	res, err := m.Run(app.Body)
-	if err != nil {
-		return nil, err
-	}
-	if err := app.Verify(m); err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{Label: "first-touch/dirnnb", Cycles: res.ROICycles})
-	return rows, nil
+	jobs = append(jobs, func(context.Context) (AblationRow, error) {
+		c := ocean.Small()
+		if scale != ScalePaper {
+			c.N = 66
+		}
+		c.OwnerPlaced = true
+		m := machine.New(mcfg)
+		dirnnb.New(m)
+		app := ocean.New(c)
+		app.Setup(m)
+		res, err := m.Run(app.Body)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		if err := app.Verify(m); err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{Label: "first-touch/dirnnb", Cycles: res.ROICycles}, nil
+	})
+	return RunAll(jobs, workers)
 }
 
 // RenderAblation prints an ablation sweep.
@@ -215,7 +226,7 @@ func RenderAblation(w io.Writer, title string, rows []AblationRow) error {
 // per remote datum per iteration, check-in annotations cut that to
 // three by replacing the invalidation round trip, and the custom update
 // protocol reaches the minimum of one.
-func AblationEM3DProtocols(scale Scale, pctRemote int) ([]AblationRow, error) {
+func AblationEM3DProtocols(scale Scale, pctRemote, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	ecfg.PctRemote = pctRemote
 	mcfg := MachineConfig(scale, 0)
@@ -223,107 +234,104 @@ func AblationEM3DProtocols(scale Scale, pctRemote int) ([]AblationRow, error) {
 	netMsgs := func(res machine.Result) uint64 {
 		return res.Net.Packets[0] + res.Net.Packets[1] - res.Net.LocalSends
 	}
-	var rows []AblationRow
-
-	// DirNNB (hardware messages are not modeled as packets; report cycles).
-	dir, err := runEM3DOn(mcfg, SysDirNNB, ecfg)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{Label: "dirnnb", Cycles: dir.roi})
-
-	// Plain Stache.
-	{
+	// stacheRow runs one Stache variant (plain or check-in).
+	stacheRow := func(label string, checkin bool) (AblationRow, error) {
 		m := machine.New(mcfg)
 		st := stache.New()
 		typhoon.New(m, st)
-		app := em3d.New(ecfg)
+		var app apps.App
+		if checkin {
+			app = em3d.NewCheckInApp(ecfg, st)
+		} else {
+			app = em3d.New(ecfg)
+		}
 		app.Setup(m)
 		res, err := m.Run(app.Body)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		if err := app.Verify(m); err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{Label: "typhoon-stache", Cycles: res.ROICycles,
-			Extra: map[string]uint64{"net-messages": netMsgs(res)}})
+		return AblationRow{Label: label, Cycles: res.ROICycles,
+			Extra: map[string]uint64{"net-messages": netMsgs(res)}}, nil
 	}
-	// Stache with check-in annotations.
-	{
-		m := machine.New(mcfg)
-		st := stache.New()
-		typhoon.New(m, st)
-		app := em3d.NewCheckInApp(ecfg, st)
-		app.Setup(m)
-		res, err := m.Run(app.Body)
-		if err != nil {
-			return nil, err
-		}
-		if err := app.Verify(m); err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Label: "typhoon-stache+checkin", Cycles: res.ROICycles,
-			Extra: map[string]uint64{"net-messages": netMsgs(res)}})
+	jobs := []Job[AblationRow]{
+		// DirNNB (hardware messages are not modeled as packets; report cycles).
+		func(context.Context) (AblationRow, error) {
+			dir, err := runEM3DOn(mcfg, SysDirNNB, ecfg)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{Label: "dirnnb", Cycles: dir.roi}, nil
+		},
+		func(context.Context) (AblationRow, error) {
+			return stacheRow("typhoon-stache", false)
+		},
+		func(context.Context) (AblationRow, error) {
+			return stacheRow("typhoon-stache+checkin", true)
+		},
+		// Custom update protocol.
+		func(context.Context) (AblationRow, error) {
+			m := machine.New(mcfg)
+			u := em3d.NewUpdateProtocol()
+			typhoon.New(m, u)
+			app := em3d.NewUpdateApp(ecfg, u)
+			app.Setup(m)
+			res, err := m.Run(app.Body)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			if err := app.Verify(m); err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{Label: "typhoon-update", Cycles: res.ROICycles,
+				Extra: map[string]uint64{"net-messages": netMsgs(res)}}, nil
+		},
 	}
-	// Custom update protocol.
-	{
-		m := machine.New(mcfg)
-		u := em3d.NewUpdateProtocol()
-		typhoon.New(m, u)
-		app := em3d.NewUpdateApp(ecfg, u)
-		app.Setup(m)
-		res, err := m.Run(app.Body)
-		if err != nil {
-			return nil, err
-		}
-		if err := app.Verify(m); err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Label: "typhoon-update", Cycles: res.ROICycles,
-			Extra: map[string]uint64{"net-messages": netMsgs(res)}})
-	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }
 
 // AblationMigratory measures the migratory-sharing optimisation (a
 // user-level protocol-policy extension, off by default) on MP3D, whose
 // scattered read-modify-writes are the pattern it targets.
-func AblationMigratory(scale Scale) ([]AblationRow, error) {
+func AblationMigratory(scale Scale, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 64<<10)
-	var rows []AblationRow
+	var jobs []Job[AblationRow]
 	for _, mig := range []bool{false, true} {
-		m := machine.New(mcfg)
-		var opts []stache.Option
-		label := "stache/plain"
-		if mig {
-			opts = append(opts, stache.WithMigratory())
-			label = "stache/migratory"
-		}
-		st := stache.New(opts...)
-		typhoon.New(m, st)
-		app, err := MakeApp("mp3d", scale, SetSmall)
-		if err != nil {
-			return nil, err
-		}
-		app.Setup(m)
-		res, err := m.Run(app.Body)
-		if err != nil {
-			return nil, err
-		}
-		if err := app.Verify(m); err != nil {
-			return nil, err
-		}
-		if err := st.CheckInvariants(); err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Label: label, Cycles: res.ROICycles,
-			Extra: map[string]uint64{
-				"migratory-grants": res.Counters.Get("stache.migratory_grants"),
-				"upgrades":         res.Counters.Get("stache.upgrades"),
-			}})
+		jobs = append(jobs, func(context.Context) (AblationRow, error) {
+			m := machine.New(mcfg)
+			var opts []stache.Option
+			label := "stache/plain"
+			if mig {
+				opts = append(opts, stache.WithMigratory())
+				label = "stache/migratory"
+			}
+			st := stache.New(opts...)
+			typhoon.New(m, st)
+			app, err := MakeApp("mp3d", scale, SetSmall)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			app.Setup(m)
+			res, err := m.Run(app.Body)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			if err := app.Verify(m); err != nil {
+				return AblationRow{}, err
+			}
+			if err := st.CheckInvariants(); err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{Label: label, Cycles: res.ROICycles,
+				Extra: map[string]uint64{
+					"migratory-grants": res.Counters.Get("stache.migratory_grants"),
+					"upgrades":         res.Counters.Get("stache.upgrades"),
+				}}, nil
+		})
 	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }
 
 // AblationSoftwareTempest runs the same benchmark and the same
@@ -331,33 +339,35 @@ func AblationMigratory(scale Scale) ([]AblationRow, error) {
 // implementation (the paper's announced "native version for existing
 // machines", later published as Blizzard), quantifying what Typhoon's
 // custom hardware buys.
-func AblationSoftwareTempest(scale Scale) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblationSoftwareTempest(scale Scale, workers int) ([]AblationRow, error) {
+	var jobs []Job[AblationRow]
 	for _, name := range []string{"ocean", "em3d"} {
 		for _, software := range []bool{false, true} {
-			m := machine.New(MachineConfig(scale, 16<<10))
-			st := stache.New()
-			label := name + "/typhoon"
-			if software {
-				blizzard.New(m, st, blizzard.Config{})
-				label = name + "/software"
-			} else {
-				typhoon.New(m, st)
-			}
-			app, err := MakeApp(name, scale, SetSmall)
-			if err != nil {
-				return nil, err
-			}
-			app.Setup(m)
-			res, err := m.Run(app.Body)
-			if err != nil {
-				return nil, err
-			}
-			if err := app.Verify(m); err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{Label: label, Cycles: res.ROICycles})
+			jobs = append(jobs, func(context.Context) (AblationRow, error) {
+				m := machine.New(MachineConfig(scale, 16<<10))
+				st := stache.New()
+				label := name + "/typhoon"
+				if software {
+					blizzard.New(m, st, blizzard.Config{})
+					label = name + "/software"
+				} else {
+					typhoon.New(m, st)
+				}
+				app, err := MakeApp(name, scale, SetSmall)
+				if err != nil {
+					return AblationRow{}, err
+				}
+				app.Setup(m)
+				res, err := m.Run(app.Body)
+				if err != nil {
+					return AblationRow{}, err
+				}
+				if err := app.Verify(m); err != nil {
+					return AblationRow{}, err
+				}
+				return AblationRow{Label: label, Cycles: res.ROICycles}, nil
+			})
 		}
 	}
-	return rows, nil
+	return RunAll(jobs, workers)
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -55,11 +56,17 @@ type Fig3Options struct {
 	Scale   Scale
 	Apps    []string     // nil = all five
 	Configs []Fig3Config // nil = the paper's five
+	// Workers sizes the worker pool; <= 0 uses all cores. Results are
+	// bit-identical at every worker count.
+	Workers int
+	// Progress, when non-nil, is called after each simulation finishes.
+	Progress func(done, total int)
 }
 
 // Figure3 reproduces the paper's Figure 3: the execution time of
 // Typhoon/Stache relative to DirNNB across benchmarks and dataset/cache
-// combinations.
+// combinations. Each (benchmark, config, system) point is one job on
+// the RunAll pool.
 func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	names := opts.Apps
 	if names == nil {
@@ -69,27 +76,31 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	if configs == nil {
 		configs = Fig3Configs(opts.Scale)
 	}
-	var cells []Fig3Cell
+	// Two jobs per cell: DirNNB at 2k, Typhoon/Stache at 2k+1.
+	var jobs []Job[RunResult]
 	for _, name := range names {
 		for _, fc := range configs {
-			mcfg := MachineConfig(opts.Scale, fc.CacheKB<<10)
-
-			appD, err := MakeApp(name, opts.Scale, fc.Set)
-			if err != nil {
-				return nil, err
+			for _, sys := range []System{SysDirNNB, SysStache} {
+				jobs = append(jobs, func(context.Context) (RunResult, error) {
+					app, err := MakeApp(name, opts.Scale, fc.Set)
+					if err != nil {
+						return RunResult{}, err
+					}
+					return Run(MachineConfig(opts.Scale, fc.CacheKB<<10), sys, app)
+				})
 			}
-			dir, err := Run(mcfg, SysDirNNB, appD)
-			if err != nil {
-				return nil, err
-			}
-			appT, err := MakeApp(name, opts.Scale, fc.Set)
-			if err != nil {
-				return nil, err
-			}
-			typh, err := Run(mcfg, SysStache, appT)
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	results, err := RunAllOpts(jobs, RunOptions{Workers: opts.Workers, Progress: opts.Progress})
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig3Cell
+	i := 0
+	for _, name := range names {
+		for _, fc := range configs {
+			dir, typh := results[i], results[i+1]
+			i += 2
 			cells = append(cells, Fig3Cell{
 				App:     name,
 				Set:     fc.Set,

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,11 +27,20 @@ type Fig4Options struct {
 	Set DataSet
 	// Pcts are the remote-edge percentages; nil = 0..50 step 10.
 	Pcts []int
+	// Workers sizes the worker pool; <= 0 uses all cores. Results are
+	// bit-identical at every worker count.
+	Workers int
+	// Progress, when non-nil, is called after each simulation finishes.
+	Progress func(done, total int)
 }
+
+// fig4Systems is the series order of Figure 4.
+var fig4Systems = []System{SysDirNNB, SysStache, SysUpdate}
 
 // Figure4 reproduces the paper's Figure 4: EM3D cycles per edge versus
 // the percentage of non-local edges, for DirNNB, Typhoon/Stache, and the
-// custom Typhoon update protocol.
+// custom Typhoon update protocol. Each (percentage, system) point is one
+// job on the RunAll pool.
 func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 	pcts := opts.Pcts
 	if pcts == nil {
@@ -41,35 +51,33 @@ func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 		set = SetLarge
 	}
 	mcfg := MachineConfig(opts.Scale, 0)
-	var out []Fig4Point
+	var jobs []Job[em3dRun]
 	for _, pct := range pcts {
-		ecfg := EM3DConfig(opts.Scale, set)
-		ecfg.PctRemote = pct
-
-		perEdge := func(roi sim.Time, edgesPerProcPerIter int) float64 {
-			return float64(roi) / float64(edgesPerProcPerIter*ecfg.Iters)
+		for _, sys := range fig4Systems {
+			jobs = append(jobs, func(context.Context) (em3dRun, error) {
+				ecfg := EM3DConfig(opts.Scale, set)
+				ecfg.PctRemote = pct
+				return runEM3DOn(mcfg, sys, ecfg)
+			})
 		}
-		pt := Fig4Point{PctRemote: pct}
-
-		dirRes, err := runEM3DOn(mcfg, SysDirNNB, ecfg)
-		if err != nil {
-			return nil, err
-		}
-		pt.DirNNB = perEdge(dirRes.roi, dirRes.edges)
-
-		stRes, err := runEM3DOn(mcfg, SysStache, ecfg)
-		if err != nil {
-			return nil, err
-		}
-		pt.Stache = perEdge(stRes.roi, stRes.edges)
-
-		upRes, err := runEM3DOn(mcfg, SysUpdate, ecfg)
-		if err != nil {
-			return nil, err
-		}
-		pt.Update = perEdge(upRes.roi, upRes.edges)
-
-		out = append(out, pt)
+	}
+	results, err := RunAllOpts(jobs, RunOptions{Workers: opts.Workers, Progress: opts.Progress})
+	if err != nil {
+		return nil, err
+	}
+	iters := EM3DConfig(opts.Scale, set).Iters
+	perEdge := func(r em3dRun) float64 {
+		return float64(r.roi) / float64(r.edges*iters)
+	}
+	var out []Fig4Point
+	for i, pct := range pcts {
+		base := i * len(fig4Systems)
+		out = append(out, Fig4Point{
+			PctRemote: pct,
+			DirNNB:    perEdge(results[base]),
+			Stache:    perEdge(results[base+1]),
+			Update:    perEdge(results[base+2]),
+		})
 	}
 	return out, nil
 }

@@ -105,8 +105,37 @@ const (
 	SetLarge DataSet = "large"
 )
 
+// ParseScale validates a scale name (e.g. a -scale flag value). Unknown
+// values are an error, never a silent fallback to the reduced sweep.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case ScalePaper, ScaleReduced:
+		return Scale(s), nil
+	}
+	return "", fmt.Errorf("unknown scale %q (want %q or %q)", s, ScaleReduced, ScalePaper)
+}
+
+// ParseDataSet validates a data-set name (e.g. a -set flag value).
+func ParseDataSet(s string) (DataSet, error) {
+	switch DataSet(s) {
+	case SetSmall, SetLarge:
+		return DataSet(s), nil
+	}
+	return "", fmt.Errorf("unknown data set %q (want %q or %q)", s, SetSmall, SetLarge)
+}
+
 // BenchNames lists the five benchmarks in the paper's Figure 3 order.
 var BenchNames = []string{"appbt", "barnes", "mp3d", "ocean", "em3d"}
+
+// ValidBench reports whether name is one of the five benchmarks.
+func ValidBench(name string) bool {
+	for _, n := range BenchNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // MakeApp builds a benchmark instance by name, scale, and data set.
 func MakeApp(name string, scale Scale, set DataSet) (apps.App, error) {

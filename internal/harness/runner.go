@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The experiments in this package replay the paper's evaluation, which
+// itself ran on a parallel simulator (the Wisconsin Wind Tunnel hosted
+// on a CM-5). Every simulated machine is a self-contained deterministic
+// object — no package-level mutable state anywhere in the simulator —
+// so independent (app, system, config) points can run concurrently on
+// worker goroutines without changing any result. RunAll is the worker
+// pool the sweeps share; results are slotted by job index, never by
+// completion order, so parallel output is bit-identical to serial.
+
+// Job is one unit of work for RunAll: typically one simulated machine
+// run. The context is cancelled when another job has already failed;
+// jobs may check it to stop early, but need not (a running simulation
+// is never interrupted mid-flight).
+type Job[T any] func(ctx context.Context) (T, error)
+
+// RunOptions configures RunAll's pool.
+type RunOptions struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is called after each job completes with
+	// the number done so far and the total. Calls are serialized (never
+	// concurrent) but arrive in completion order, not job order.
+	Progress func(done, total int)
+}
+
+// RunAll executes every job on a pool of workers goroutines (<= 0 uses
+// all cores) and returns the results in job order. On the first error
+// the pool stops handing out new jobs (fail-fast via context
+// cancellation), waits for in-flight jobs, and returns the error of the
+// lowest-indexed job that failed, wrapped with its index.
+func RunAll[T any](jobs []Job[T], workers int) ([]T, error) {
+	return RunAllOpts(jobs, RunOptions{Workers: workers})
+}
+
+// RunAllOpts is RunAll with a progress callback.
+func RunAllOpts[T any](jobs []Job[T], opts RunOptions) ([]T, error) {
+	n := len(jobs)
+	results := make([]T, n)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		done    int
+	)
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range jobs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				// After a failure, drain the feed without running: the
+				// feeder's select may still hand out an index that raced
+				// with cancellation.
+				if ctx.Err() != nil {
+					continue
+				}
+				res, err := jobs[i](ctx)
+				mu.Lock()
+				if err != nil {
+					// Keep the lowest-indexed failure so the error is as
+					// stable as fail-fast scheduling allows.
+					if errIdx == -1 || i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				results[i] = res
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, fmt.Errorf("harness: job %d: %w", errIdx, firstEr)
+	}
+	return results, nil
+}

@@ -1,0 +1,247 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunAllOrdersResultsByJobIndex(t *testing.T) {
+	const n = 100
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) { return i * i, nil }
+	}
+	for _, workers := range []int{0, 1, 3, 7, n + 5} {
+		got, err := RunAll(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	got, err := RunAll([]Job[int]{}, 4)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty jobs: got %v, %v", got, err)
+	}
+}
+
+func TestRunAllFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 20)
+	var started int // guarded by the pool's serial execution (workers=1)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) {
+			started++
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		}
+	}
+	_, err := RunAll(jobs, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Errorf("error should name the failing job: %v", err)
+	}
+	// Fail-fast: with one worker, no job after the failure starts except
+	// at most those already fed into the pipeline.
+	if started > 5 {
+		t.Errorf("fail-fast leaked: %d jobs started after job 3 failed", started)
+	}
+}
+
+func TestRunAllCancelsContextOnFailure(t *testing.T) {
+	// Job 1 either never starts (already-cancelled feed drained) or, if
+	// it is in flight when job 0 fails, observes cancellation instead of
+	// blocking forever.
+	var ran, sawCancel bool
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 0, errors.New("first fails") },
+		func(ctx context.Context) (int, error) {
+			ran = true
+			<-ctx.Done()
+			sawCancel = true
+			return 0, ctx.Err()
+		},
+	}
+	if _, err := RunAll(jobs, 2); err == nil {
+		t.Fatal("expected error")
+	}
+	if ran && !sawCancel {
+		t.Fatal("second job ran but never observed cancellation")
+	}
+}
+
+func TestRunAllProgress(t *testing.T) {
+	const n = 17
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) { return i, nil }
+	}
+	var calls []int
+	_, err := RunAllOpts(jobs, RunOptions{Workers: 4, Progress: func(done, total int) {
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+		calls = append(calls, done)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != n {
+		t.Fatalf("progress calls = %d, want %d", len(calls), n)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done sequence broken at %d: %v", i, calls)
+		}
+	}
+}
+
+// TestParallelDeterminism is the tentpole's correctness contract: every
+// figure and sweep produces bit-identical results at any worker count,
+// because results are slotted by job index and each simulated machine is
+// self-contained.
+func TestParallelDeterminism(t *testing.T) {
+	t.Run("figure3", func(t *testing.T) {
+		base := Fig3Options{
+			Scale:   ScaleReduced,
+			Apps:    []string{"ocean"},
+			Configs: []Fig3Config{{SetSmall, 4}, {SetSmall, 64}, {SetLarge, 64}},
+		}
+		serial := base
+		serial.Workers = 1
+		parallel := base
+		parallel.Workers = 4
+		a, err := Figure3(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure3(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("figure 3 parallel != serial:\n%+v\n%+v", a, b)
+		}
+	})
+	t.Run("figure4", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("short mode")
+		}
+		base := Fig4Options{Scale: ScaleReduced, Set: SetSmall, Pcts: []int{0, 30}}
+		serial := base
+		serial.Workers = 1
+		parallel := base
+		parallel.Workers = 4
+		a, err := Figure4(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure4(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("figure 4 parallel != serial:\n%+v\n%+v", a, b)
+		}
+	})
+	t.Run("ablations", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("short mode")
+		}
+		for _, tc := range []struct {
+			name string
+			run  func(workers int) ([]AblationRow, error)
+		}{
+			{"blocksize", func(w int) ([]AblationRow, error) { return AblationBlockSize(ScaleReduced, w) }},
+			{"em3d-protocols", func(w int) ([]AblationRow, error) { return AblationEM3DProtocols(ScaleReduced, 30, w) }},
+			{"netlatency", func(w int) ([]AblationRow, error) { return AblationNetLatency(ScaleReduced, w) }},
+		} {
+			a, err := tc.run(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tc.run(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s parallel != serial:\n%+v\n%+v", tc.name, a, b)
+			}
+		}
+	})
+	t.Run("refetch", func(t *testing.T) {
+		mcfg := MachineConfig(ScaleReduced, 4<<10)
+		probes := []RefetchProbe{{mcfg, SysDirNNB}, {mcfg, SysStache}}
+		a, err := MeasureRefetchAll(probes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MeasureRefetchAll(probes, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("refetch parallel != serial: %v vs %v", a, b)
+		}
+	})
+}
+
+// TestFigure3ErrorPropagates checks fail-fast error aggregation through
+// a real sweep: an unknown benchmark surfaces as an error, not a panic
+// or a partial result.
+func TestFigure3ErrorPropagates(t *testing.T) {
+	_, err := Figure3(Fig3Options{
+		Scale:   ScaleReduced,
+		Apps:    []string{"ocean", "nope"},
+		Configs: []Fig3Config{{SetSmall, 4}},
+		Workers: 4,
+	})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v, want unknown-benchmark error", err)
+	}
+}
+
+func TestParseScaleAndDataSet(t *testing.T) {
+	if _, err := ParseScale("paper"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseScale("reduced"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseScale("papr"); err == nil {
+		t.Error("typo scale accepted")
+	}
+	if _, err := ParseDataSet("small"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseDataSet("big"); err == nil {
+		t.Error("unknown data set accepted")
+	}
+	if !ValidBench("em3d") || ValidBench("em4d") {
+		t.Error("ValidBench misclassifies")
+	}
+}
+
+func ExampleRunAll() {
+	jobs := []Job[string]{
+		func(context.Context) (string, error) { return "first", nil },
+		func(context.Context) (string, error) { return "second", nil },
+	}
+	out, _ := RunAll(jobs, 2)
+	fmt.Println(out[0], out[1])
+	// Output: first second
+}

@@ -9,7 +9,8 @@ import (
 	"strings"
 )
 
-// Counters is a named set of monotonic event counts.
+// Counters is a named set of monotonic event counts. The zero value is
+// ready to use; the map is allocated on first write.
 type Counters struct {
 	m map[string]uint64
 }
@@ -18,10 +19,15 @@ type Counters struct {
 func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
 
 // Add increments a counter by n.
-func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+func (c *Counters) Add(name string, n uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += n
+}
 
 // Inc increments a counter by one.
-func (c *Counters) Inc(name string) { c.m[name]++ }
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns a counter's value (zero if never touched).
 func (c *Counters) Get(name string) uint64 { return c.m[name] }
@@ -29,7 +35,7 @@ func (c *Counters) Get(name string) uint64 { return c.m[name] }
 // Merge adds every counter in other into c.
 func (c *Counters) Merge(other *Counters) {
 	for k, v := range other.m {
-		c.m[k] += v
+		c.Add(k, v)
 	}
 }
 
@@ -86,7 +92,13 @@ func (t *Table) Render(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			// A row may carry more cells than the header; cells past the
+			// last column print unpadded instead of panicking.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
 		}
 		b.WriteByte('\n')
 	}

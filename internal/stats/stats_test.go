@@ -104,3 +104,52 @@ func TestMergeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTableRenderWideRow is the regression test for the writeRow panic:
+// a row carrying more cells than the header must render (extra cells
+// unpadded), not index past the widths slice.
+func TestTableRenderWideRow(t *testing.T) {
+	tab := &Table{
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "2", "3-beyond-the-header", "4")
+	tab.AddRow("5")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"3-beyond-the-header", "4", "5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render dropped cell %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCountersZeroValue pins that the zero value of Counters is usable:
+// Add, Inc, Merge, Get, Names, and Snapshot all work without NewCounters.
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("Get on zero value")
+	}
+	c.Inc("x")
+	c.Add("x", 2)
+	if c.Get("x") != 3 {
+		t.Fatalf("x = %d, want 3", c.Get("x"))
+	}
+
+	var dst Counters
+	src := NewCounters()
+	src.Add("y", 5)
+	dst.Merge(src)
+	if dst.Get("y") != 5 {
+		t.Fatalf("merged y = %d, want 5", dst.Get("y"))
+	}
+
+	var empty Counters
+	if len(empty.Names()) != 0 || len(empty.Snapshot()) != 0 {
+		t.Fatal("zero value should enumerate as empty")
+	}
+	empty.Merge(&Counters{}) // merging two zero values must not panic
+}

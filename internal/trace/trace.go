@@ -61,6 +61,13 @@ func (e Event) String() string {
 
 // Tracer collects events up to a cap (oldest kept), with an optional
 // filter.
+//
+// A Tracer is not safe for concurrent use: it belongs to exactly one
+// simulated machine. When the harness runs machines in parallel
+// (harness.RunAll), attach a separate Tracer to each machine; sharing
+// one across concurrently running machines is a data race and
+// interleaves unrelated event streams. Reset lets a single goroutine
+// reuse a Tracer (and its backing storage) across sequential runs.
 type Tracer struct {
 	// Filter, when non-nil, drops events it returns false for.
 	Filter func(Event) bool

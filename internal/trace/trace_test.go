@@ -1,11 +1,14 @@
 package trace_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/machine"
 	"github.com/tempest-sim/tempest/internal/mem"
+	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stache"
 	"github.com/tempest-sim/tempest/internal/trace"
 	"github.com/tempest-sim/tempest/internal/typhoon"
@@ -107,6 +110,109 @@ func TestKindStrings(t *testing.T) {
 	for _, k := range kinds {
 		if k.String() == "" {
 			t.Errorf("kind %d has empty string", k)
+		}
+	}
+}
+
+// TestTraceResetReusesBacking pins Reset's contract: the backing slice
+// is kept (len 0, capacity intact) so a machine-at-a-time harness can
+// reuse one Tracer across sequential runs without reallocating.
+func TestTraceResetReusesBacking(t *testing.T) {
+	tr := trace.New(8)
+	tr.Emit(trace.Event{T: 1})
+	tr.Emit(trace.Event{T: 2})
+	before := tr.Events()
+	if cap(before) < 2 {
+		t.Fatalf("cap = %d, want >= 2", cap(before))
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("reset left events behind")
+	}
+	tr.Emit(trace.Event{T: 3})
+	after := tr.Events()
+	if &before[0] != &after[0] {
+		t.Error("Reset reallocated the backing slice")
+	}
+}
+
+// TestTraceDroppedAccounting checks the cap bookkeeping in isolation:
+// every emission past the cap increments Dropped and nothing is evicted.
+func TestTraceDroppedAccounting(t *testing.T) {
+	tr := trace.New(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(trace.Event{T: sim.Time(i)})
+	}
+	if len(tr.Events()) != 3 {
+		t.Fatalf("events = %d, want 3 (oldest kept)", len(tr.Events()))
+	}
+	if tr.Events()[0].T != 0 || tr.Events()[2].T != 2 {
+		t.Errorf("cap should keep the oldest events: %v", tr.Events())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Dropped() != 0 {
+		t.Fatal("Reset must clear the dropped count")
+	}
+}
+
+// TestTracerPerMachineParallel runs several traced machines concurrently
+// on the harness worker pool, one Tracer per machine (a Tracer must
+// never be shared across concurrently running machines — see the type
+// comment). Each machine's trace and Dropped() accounting must be
+// bit-identical to a serial run of the same configuration.
+func TestTracerPerMachineParallel(t *testing.T) {
+	const maxEvents = 4 // tight: every machine drops events
+	runOne := func(seed uint64) (int, uint64, error) {
+		m := machine.New(machine.Config{Nodes: 2, CacheSize: 4096, Seed: seed})
+		tr := trace.New(maxEvents)
+		typhoon.New(m, stache.New(), typhoon.WithTracer(tr))
+		seg := m.AllocShared("x", mem.PageSize, vm.OnNode{Node: 0}, 0)
+		if _, err := m.Run(func(p *machine.Proc) {
+			if p.ID() == 0 {
+				p.WriteU64(seg.At(0), 7)
+			}
+			p.Barrier()
+			p.ReadU64(seg.At(0))
+		}); err != nil {
+			return 0, 0, err
+		}
+		return len(tr.Events()), tr.Dropped(), nil
+	}
+
+	type shape struct {
+		events  int
+		dropped uint64
+	}
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	serial := make([]shape, len(seeds))
+	for i, s := range seeds {
+		ev, dr, err := runOne(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = shape{ev, dr}
+	}
+
+	var jobs []harness.Job[shape]
+	for _, s := range seeds {
+		jobs = append(jobs, func(context.Context) (shape, error) {
+			ev, dr, err := runOne(s)
+			return shape{ev, dr}, err
+		})
+	}
+	parallel, err := harness.RunAll(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if parallel[i] != serial[i] {
+			t.Errorf("seed %d: parallel trace %+v != serial %+v", seeds[i], parallel[i], serial[i])
+		}
+		if parallel[i].dropped == 0 {
+			t.Errorf("seed %d: cap %d never dropped; tighten the test", seeds[i], maxEvents)
 		}
 	}
 }
