@@ -1,12 +1,14 @@
 # Developer and CI entry points. `make ci` is what the GitHub Actions
-# workflow runs: vet, build, and the full test suite under the race
-# detector (the parallel harness runner depends on -race staying green).
+# workflow runs: vet, build, the full test suite under the race detector
+# (the parallel harness runner depends on -race staying green), a
+# one-iteration benchmark smoke pass, and the fuzz targets' committed
+# seed corpora.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench microbench bench-smoke fuzz-seeds
 
-ci: vet build race
+ci: vet build race bench-smoke fuzz-seeds
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +22,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the performance sweep and appends a labelled entry (seconds
+# per app + output digest) to BENCH_sim.json.
 bench:
+	$(GO) run ./cmd/bench -label "$${BENCH_LABEL:-dev}"
+
+# microbench runs the per-figure/table Go benchmarks.
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-smoke compiles and runs every benchmark for exactly one
+# iteration: catches bit-rotted benchmark code without paying for timing.
+bench-smoke:
+	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+# fuzz-seeds executes the committed seed corpora of the fuzz targets as
+# ordinary tests (no fuzzing engine; deterministic).
+fuzz-seeds:
+	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/

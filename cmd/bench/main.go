@@ -1,0 +1,140 @@
+// Command bench runs the tier-1 simulator benchmarks with a single
+// worker and appends a timing entry to BENCH_sim.json, giving the repo
+// a recorded performance trajectory across PRs.
+//
+// Each entry records the wall-clock seconds of a per-app Figure 3 sweep
+// (reduced scale, one worker — so the number measures simulator speed,
+// not host parallelism) plus the reduced Figure 4 EM3D sweep, and a
+// sha256 digest of the rendered tables. The digest must be identical
+// between entries on the same tree shape: performance work that changes
+// it has changed simulated results, not just speed.
+//
+// Usage:
+//
+//	go run ./cmd/bench -label after-heap-rework
+//	make bench
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+)
+
+// Entry is one benchmark run. Seconds maps measurement name to
+// wall-clock duration; Digest fingerprints the rendered output.
+type Entry struct {
+	Label   string             `json:"label"`
+	Date    string             `json:"date"`
+	Go      string             `json:"go"`
+	NumCPU  int                `json:"num_cpu"`
+	Workers int                `json:"workers"`
+	Seconds map[string]float64 `json:"seconds"`
+	Digest  string             `json:"digest"`
+}
+
+// File is the BENCH_sim.json shape: newest entry last.
+type File struct {
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "benchmark trajectory file to append to")
+	label := flag.String("label", "HEAD", "label for this entry (e.g. a PR or commit name)")
+	jobs := flag.Int("j", 1, "parallel simulations (1 isolates simulator speed from host cores)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		fail(fmt.Errorf("-j %d: worker count must be >= 1", *jobs))
+	}
+
+	seconds := make(map[string]float64)
+	digest := sha256.New()
+	var rendered strings.Builder
+
+	// Per-app Figure 3 sweeps: one timing per benchmark so regressions
+	// localise, all rendered into the digest.
+	var cells []harness.Fig3Cell
+	for _, app := range harness.BenchNames {
+		start := time.Now()
+		cs, err := harness.Figure3(harness.Fig3Options{
+			Scale:   harness.ScaleReduced,
+			Apps:    []string{app},
+			Workers: *jobs,
+		})
+		if err != nil {
+			fail(err)
+		}
+		seconds["figure3/"+app] = time.Since(start).Seconds()
+		cells = append(cells, cs...)
+		fmt.Fprintf(os.Stderr, "bench: figure3/%s %.2fs\n", app, seconds["figure3/"+app])
+	}
+	if err := harness.RenderFigure3(&rendered, cells); err != nil {
+		fail(err)
+	}
+
+	// Reduced Figure 4: the EM3D remote-edge sweep on the small set.
+	start := time.Now()
+	pts, err := harness.Figure4(harness.Fig4Options{
+		Scale:   harness.ScaleReduced,
+		Set:     harness.SetSmall,
+		Pcts:    []int{0, 20, 50},
+		Workers: *jobs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	seconds["figure4/em3d-small"] = time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "bench: figure4/em3d-small %.2fs\n", seconds["figure4/em3d-small"])
+	if err := harness.RenderFigure4(&rendered, pts); err != nil {
+		fail(err)
+	}
+
+	var total float64
+	for _, s := range seconds {
+		total += s
+	}
+	seconds["total"] = total
+	digest.Write([]byte(rendered.String()))
+
+	entry := Entry{
+		Label:   *label,
+		Date:    time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Go:      runtime.Version(),
+		NumCPU:  runtime.NumCPU(),
+		Workers: *jobs,
+		Seconds: seconds,
+		Digest:  hex.EncodeToString(digest.Sum(nil)),
+	}
+
+	var f File
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fail(fmt.Errorf("%s: %w (fix or remove the file)", *out, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fail(err)
+	}
+	f.Entries = append(f.Entries, entry)
+	raw, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %s total %.2fs digest %s… → %s\n",
+		*label, total, entry.Digest[:12], *out)
+}

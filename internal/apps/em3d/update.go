@@ -216,7 +216,7 @@ func (u *UpdateProtocol) handleGetS(np *typhoon.NP, pkt *network.Packet) {
 	page.sharers[bi] = append(page.sharers[bi], int16(pkt.Src))
 	segBase := u.segBaseOf(va)
 	epoch := u.per[np.Node()].flushEpoch[segBase]
-	data := np.ForceReadBlock(va)
+	data := np.ForceReadBlockScratch(va)
 	np.MemRef(mem.MakePA(np.Node(), uint64(1)<<39|(uint64(va)&((1<<38)-1))), true)
 	np.Charge(10)
 	np.SendReply(pkt.Src, hUpdData, []uint64{uint64(va), uint64(epoch)}, data)
@@ -258,7 +258,7 @@ func (u *UpdateProtocol) handleFlush(np *typhoon.NP, pkt *network.Packet) {
 				continue
 			}
 			va := pageVA + mem.VA(bi*u.bs)
-			data := np.ForceReadBlock(va)
+			data := np.ForceReadBlockScratch(va)
 			np.Charge(2)
 			for _, s := range sharers {
 				np.Charge(2)

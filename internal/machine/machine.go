@@ -183,7 +183,11 @@ func New(cfg Config) *Machine {
 		}))
 		m.Caches = append(m.Caches, cache.New(cfg.CacheSize, cfg.CacheWays, cfg.BlockSize, cfg.Seed+uint64(i)*0x9E37))
 		m.TLBs = append(m.TLBs, cache.NewTLB(cfg.TLBEntries))
-		m.Procs = append(m.Procs, &Proc{m: m, node: i})
+		m.Procs = append(m.Procs, &Proc{
+			m: m, node: i,
+			tlb: m.TLBs[i], cc: m.Caches[i], pt: m.VM.Table(i),
+			trGen: ^uint64(0), // no cached translation yet
+		})
 	}
 	return m
 }

@@ -40,6 +40,20 @@ type Proc struct {
 	// resume semantics).
 	Ctx *sim.Context
 
+	// Flattened fast path: the node's TLB, cache, and page table, cached
+	// at construction so a hit-path reference chases no Machine slices.
+	tlb *cache.TLB
+	cc  *cache.Cache
+	pt  *vm.PageTable
+
+	// One-entry translation cache, valid while the page table's
+	// generation is unchanged. It only skips the page-table map lookup —
+	// the TLB model (and its statistics) still sees every reference — so
+	// timing and counters are bit-identical with or without a hit.
+	trVPN uint64
+	trGen uint64 // page-table generation trPTE was read at
+	trPTE vm.PTE
+
 	Stats ProcStats
 }
 
@@ -117,17 +131,31 @@ func (p *Proc) access(va mem.VA, write bool) mem.PA {
 			panic(fmt.Sprintf("machine: cpu%d reference %#x (write=%v) retried %d times; protocol livelock?",
 				p.node, va, write, maxRetries))
 		}
-		if !p.m.TLBs[p.node].Lookup(va.VPN()) {
+		vpn := va.VPN()
+		if !p.tlb.Lookup(vpn) {
 			p.Stats.TLBMisses++
 			p.Ctx.Advance(cfg.TLBMissCycles)
 		}
-		pa, pte, ok := p.m.VM.Translate(p.node, va)
-		if !ok || (write && !pte.Writable) {
+		var pte vm.PTE
+		if g := p.pt.Gen(); p.trGen == g && p.trVPN == vpn {
+			pte = p.trPTE
+		} else {
+			var ok bool
+			pte, ok = p.pt.Lookup(vpn)
+			if !ok {
+				p.Stats.PageFaults++
+				p.m.Sys.PageFault(p, va, write)
+				continue
+			}
+			p.trGen, p.trVPN, p.trPTE = g, vpn, pte
+		}
+		if write && !pte.Writable {
 			p.Stats.PageFaults++
 			p.m.Sys.PageFault(p, va, write)
 			continue
 		}
-		hit, upgrade := p.m.Caches[p.node].Probe(pa, write)
+		pa := pte.PA.FrameBase() + mem.PA(va.PageOffset())
+		hit, upgrade := p.cc.Probe(pa, write)
 		if hit {
 			return pa
 		}
@@ -142,15 +170,15 @@ func (p *Proc) access(va mem.VA, write bool) mem.PA {
 			continue // fault serviced; re-run the reference
 		}
 		if upgrade {
-			if p.m.Caches[p.node].Lookup(pa) == cache.LineInvalid {
+			if p.cc.Lookup(pa) == cache.LineInvalid {
 				// The Shared line was invalidated while the upgrade
 				// was in flight (another writer won): retry as a full
 				// miss, as the bus would.
 				continue
 			}
-			p.m.Caches[p.node].Upgrade(pa)
+			p.cc.Upgrade(pa)
 		} else {
-			victim, vs := p.m.Caches[p.node].Fill(pa, state)
+			victim, vs := p.cc.Fill(pa, state)
 			if vs != cache.LineInvalid {
 				p.m.Sys.Evicted(p, victim, vs)
 			}

@@ -4,6 +4,16 @@
 // 11 cycles), a bounded packet payload (twenty 32-bit words), and
 // in-order per-sender delivery into per-node receive queues. Contention
 // is not modeled, matching the paper's stated simulation limitations.
+//
+// The dataplane is allocation-free in steady state: Send copies the
+// caller's packet into a pooled packet whose argument and data storage
+// are fixed-size arrays (the payload bound makes that possible), the
+// pooled packet schedules its own delivery as a sim.Event, and receivers
+// hand it back with Network.Free once the handler is done. The free list
+// is an explicit LIFO touched only while holding the conch, so reuse
+// order is a pure function of simulated history — unlike sync.Pool,
+// whose per-P caches would make packet identity depend on the host
+// scheduler.
 package network
 
 import (
@@ -42,8 +52,21 @@ const MaxPayloadBytes = 20 * 4
 // handlerBytes is the payload cost of the receive-handler PC word.
 const handlerBytes = 4
 
+// maxArgs and maxDataBytes bound the in-packet storage of a pooled
+// packet. Each is the most the payload limit admits for that field
+// alone; a packet near both bounds at once would fail the limit check.
+const (
+	maxArgs      = (MaxPayloadBytes - handlerBytes) / 8
+	maxDataBytes = MaxPayloadBytes - handlerBytes
+)
+
 // Packet is one active message: the first word names the receive handler
 // and the rest is its arguments (paper §2.1 and §5.1).
+//
+// Senders build a Packet (typically a stack-allocated literal — Send does
+// not retain its argument) and the network delivers a pooled copy; Args
+// and Data on a delivered packet alias packet-owned storage that is valid
+// until the packet is passed to Network.Free.
 type Packet struct {
 	Src, Dst int
 	VNet     VNet
@@ -53,11 +76,32 @@ type Packet struct {
 
 	SentAt      sim.Time
 	DeliveredAt sim.Time
+
+	// Pooled-packet internals. A packet owned by a Network's free list
+	// stores its payload inline and carries its own delivery event state.
+	argStore  [maxArgs]uint64
+	dataStore [maxDataBytes]byte
+	dst       *Endpoint // delivery target while in flight, nil otherwise
+	next      *Packet   // free-list link
+	pooled    bool      // allocated by Network.alloc; safe to Free
 }
 
 // PayloadBytes returns the packet's size against the payload limit.
 func (p *Packet) PayloadBytes() int {
 	return handlerBytes + 8*len(p.Args) + len(p.Data)
+}
+
+// Fire delivers the packet: it runs as a sim.Event at the delivery time,
+// enqueues the packet at its destination, and wakes the receiver. Using
+// the packet itself as the event avoids a closure allocation per send.
+func (p *Packet) Fire() {
+	dst := p.dst
+	p.dst = nil
+	p.DeliveredAt = dst.net.eng.Now()
+	dst.queues[p.VNet].push(p)
+	if dst.Notify != nil {
+		dst.Notify(p.DeliveredAt)
+	}
 }
 
 // Stats counts network traffic.
@@ -67,12 +111,51 @@ type Stats struct {
 	LocalSends   uint64 // CPU-to-own-NP short circuits
 }
 
+// pktRing is a growable power-of-two ring buffer of packets: a FIFO
+// whose push and pop are allocation-free once the ring has reached its
+// high-water size (the old slice FIFO paid a copy-shift per dequeue).
+type pktRing struct {
+	buf        []*Packet
+	head, tail int // head = next pop, tail = next push
+	n          int
+}
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail] = p
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+func (r *pktRing) pop() *Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Packet, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head, r.tail = buf, 0, r.n
+}
+
 // Endpoint is one node's network interface: two receive FIFOs plus a
 // wakeup callback for the entity that drains them (the NP dispatch loop,
 // or the DirNNB hardware controller).
 type Endpoint struct {
 	node   int
-	queues [numVNets][]*Packet
+	net    *Network
+	queues [numVNets]pktRing
 	// Notify is invoked (while holding the conch) whenever a packet is
 	// delivered, with the delivery time. The NP uses it to unpark its
 	// dispatch loop.
@@ -83,23 +166,21 @@ type Endpoint struct {
 func (e *Endpoint) Node() int { return e.node }
 
 // Pending returns the number of queued packets across both networks.
-func (e *Endpoint) Pending() int { return len(e.queues[VNetRequest]) + len(e.queues[VNetReply]) }
+func (e *Endpoint) Pending() int { return e.queues[VNetRequest].n + e.queues[VNetReply].n }
 
 // PendingOn returns the number of queued packets on one network.
-func (e *Endpoint) PendingOn(v VNet) int { return len(e.queues[v]) }
+func (e *Endpoint) PendingOn(v VNet) int { return e.queues[v].n }
 
 // Dequeue pops the next packet, draining the reply network before the
 // request network so request handlers can never starve response handlers
-// (paper §5.1). It returns nil when both queues are empty.
+// (paper §5.1). It returns nil when both queues are empty. The caller
+// owns the packet until it passes it to Network.Free.
 func (e *Endpoint) Dequeue() *Packet {
-	for _, v := range []VNet{VNetReply, VNetRequest} {
-		if q := e.queues[v]; len(q) > 0 {
-			p := q[0]
-			copy(q, q[1:])
-			q[len(q)-1] = nil
-			e.queues[v] = q[:len(q)-1]
-			return p
-		}
+	if e.queues[VNetReply].n > 0 {
+		return e.queues[VNetReply].pop()
+	}
+	if e.queues[VNetRequest].n > 0 {
+		return e.queues[VNetRequest].pop()
 	}
 	return nil
 }
@@ -111,6 +192,7 @@ type Network struct {
 	localLatency sim.Time
 	endpoints    []*Endpoint
 	stats        Stats
+	free         *Packet // LIFO free list of pooled packets
 }
 
 // Config configures a Network.
@@ -134,7 +216,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	}
 	n := &Network{eng: eng, latency: cfg.Latency, localLatency: ll}
 	for i := 0; i < cfg.Nodes; i++ {
-		n.endpoints = append(n.endpoints, &Endpoint{node: i})
+		n.endpoints = append(n.endpoints, &Endpoint{node: i, net: n})
 	}
 	return n
 }
@@ -148,11 +230,40 @@ func (n *Network) Latency() sim.Time { return n.latency }
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// alloc takes a packet from the free list, or mints one.
+func (n *Network) alloc() *Packet {
+	if p := n.free; p != nil {
+		n.free = p.next
+		p.next = nil
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// Free returns a delivered packet to the network's free list. Receivers
+// call it after the message handler is done with the packet's payload;
+// the packet's Args and Data are invalid afterwards. Free ignores
+// packets the pool did not produce (caller-constructed packets) and
+// packets still in flight, so over-freeing is harmless but aliasing a
+// freed payload is not.
+func (n *Network) Free(p *Packet) {
+	if p == nil || !p.pooled || p.dst != nil {
+		return
+	}
+	p.Args = nil
+	p.Data = nil
+	p.next = n.free
+	n.free = p
+}
+
 // Send injects a packet. It must be called while holding the conch; the
 // packet is delivered (enqueued and Notify'd) latency cycles after the
 // current global time. Messages from one node to its own NP short-circuit
 // the network (paper §5.1). Send panics if the payload exceeds the
 // twenty-word limit — protocol code must packetise larger transfers.
+//
+// Send copies p — the caller's packet is not retained and may be reused
+// (or live on the caller's stack) immediately.
 func (n *Network) Send(p *Packet) {
 	if p.Dst < 0 || p.Dst >= len(n.endpoints) {
 		panic(fmt.Sprintf("network: send to invalid node %d", p.Dst))
@@ -167,13 +278,13 @@ func (n *Network) Send(p *Packet) {
 	}
 	n.stats.Packets[p.VNet]++
 	n.stats.PayloadBytes[p.VNet] += uint64(p.PayloadBytes())
-	p.SentAt = n.eng.Now()
-	dst := n.endpoints[p.Dst]
-	n.eng.After(lat, func() {
-		p.DeliveredAt = n.eng.Now()
-		dst.queues[p.VNet] = append(dst.queues[p.VNet], p)
-		if dst.Notify != nil {
-			dst.Notify(p.DeliveredAt)
-		}
-	})
+
+	q := n.alloc()
+	q.Src, q.Dst, q.VNet, q.Handler = p.Src, p.Dst, p.VNet, p.Handler
+	q.Args = append(q.argStore[:0], p.Args...)
+	q.Data = append(q.dataStore[:0], p.Data...)
+	q.SentAt = n.eng.Now()
+	q.DeliveredAt = 0
+	q.dst = n.endpoints[p.Dst]
+	n.eng.AfterEvent(lat, q)
 }

@@ -13,6 +13,8 @@ type Barrier struct {
 	waiting []*Context
 	maxTime Time
 	epochs  uint64
+
+	onRelease func(epoch uint64, at Time)
 }
 
 // NewBarrier returns a barrier for n participants with the given release
@@ -26,6 +28,14 @@ func NewBarrier(eng *Engine, n int, latency Time) *Barrier {
 
 // Epochs returns how many times the barrier has completed.
 func (b *Barrier) Epochs() uint64 { return b.epochs }
+
+// OnRelease registers fn to run at each barrier release (while holding
+// the conch, before any released participant resumes), with the epoch
+// just completed and the release time. At that instant every participant
+// is suspended at the barrier, so the callback may inspect simulated
+// state mid-run — the hook exists for invariant checking in tests. It
+// must not advance simulated time.
+func (b *Barrier) OnRelease(fn func(epoch uint64, at Time)) { b.onRelease = fn }
 
 // Arrive blocks the calling context until all n participants have
 // arrived, then releases everyone at max(arrival times) + latency.
@@ -41,6 +51,9 @@ func (b *Barrier) Arrive(c *Context) {
 		b.waiting = b.waiting[:0]
 		b.maxTime = 0
 		b.epochs++
+		if b.onRelease != nil {
+			b.onRelease(b.epochs, release)
+		}
 		if release > c.time {
 			c.time = release
 		}

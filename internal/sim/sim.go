@@ -12,10 +12,18 @@
 // timed events. Between interaction points a context may run ahead of the
 // global clock by at most the engine's quantum, mirroring the
 // direct-execution style of execution-driven simulators.
+//
+// Scheduling is allocation-free on the steady-state path: runnable
+// contexts and pending events live in index-based 4-ary min-heaps over
+// slices that are reused across pushes, and events are stored as Event
+// interface values (pointer-shaped, so scheduling a *T or a func boxes
+// nothing). Because both heap orderings are strict total orders — events
+// by (time, seq), contexts by (time, prio, id) — any min-heap pops them
+// in exactly sorted order, so the heap's arity and internal layout cannot
+// affect simulated results.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,8 +90,6 @@ type Context struct {
 
 	resumeCh chan struct{}
 	body     func(*Context)
-
-	heapIndex int // index in the runnable heap, -1 if absent
 }
 
 // ID returns the context's creation-order identifier.
@@ -100,6 +106,19 @@ func (c *Context) State() State { return c.state }
 
 // Engine returns the engine that owns this context.
 func (c *Context) Engine() *Engine { return c.eng }
+
+// Event is a scheduled occurrence. Fire runs on the scheduler with the
+// conch held (no context is running) and must not block. Implementing
+// Fire on a pointer type lets callers schedule it with AtEvent/AfterEvent
+// without allocating: pointer-shaped values box into the interface for
+// free.
+type Event interface{ Fire() }
+
+// funcEvent adapts a plain callback to Event. Func values are
+// pointer-shaped, so this conversion does not allocate either.
+type funcEvent func()
+
+func (f funcEvent) Fire() { f() }
 
 // Engine schedules contexts and timed events in global cycle order.
 type Engine struct {
@@ -138,6 +157,8 @@ func NewEngine(opts ...Option) *Engine {
 		backCh:   make(chan struct{}),
 		shutdown: make(chan struct{}),
 	}
+	e.runnable.a = make([]*Context, 0, 64)
+	e.events.a = make([]evItem, 0, 256)
 	for _, o := range opts {
 		o(e)
 	}
@@ -192,10 +213,9 @@ func (e *Engine) spawn(name string, body func(*Context), daemon bool) *Context {
 		prio:      prio,
 		resumeCh:  make(chan struct{}),
 		body:      body,
-		heapIndex: -1,
 	}
 	e.contexts = append(e.contexts, c)
-	heap.Push(&e.runnable, c)
+	e.runnable.push(c)
 	go c.run()
 	return c
 }
@@ -259,7 +279,7 @@ func (c *Context) SyncTo(t Time) {
 func (c *Context) Yield() {
 	c.checkRunning("Yield")
 	c.state = StateRunnable
-	heap.Push(&c.eng.runnable, c)
+	c.eng.runnable.push(c)
 	c.eng.backCh <- struct{}{}
 	c.await()
 	c.onDispatched()
@@ -305,7 +325,7 @@ func (c *Context) Unpark(at Time) {
 		}
 		c.parkReason = ""
 		c.state = StateRunnable
-		heap.Push(&c.eng.runnable, c)
+		c.eng.runnable.push(c)
 	case StateDone:
 		// Late wakeup for a finished context; ignore.
 	default:
@@ -329,19 +349,26 @@ func (c *Context) checkRunning(op string) {
 	}
 }
 
-// At schedules fn to run at absolute simulated time t. Events run on the
-// scheduler, may not block, and execute before any context whose clock is
-// later than t. Events at equal times run in scheduling order.
-func (e *Engine) At(t Time, fn func()) {
+// AtEvent schedules ev to fire at absolute simulated time t. Events run
+// on the scheduler, may not block, and execute before any context whose
+// clock is later than t. Events at equal times fire in scheduling order.
+func (e *Engine) AtEvent(t Time, ev Event) {
 	if now := e.Now(); t < now {
 		t = now
 	}
 	e.evSeq++
-	heap.Push(&e.events, evItem{t: t, seq: e.evSeq, fn: fn})
+	e.events.push(evItem{t: t, seq: e.evSeq, ev: ev})
 }
 
+// AfterEvent schedules ev to fire delta cycles after the current global
+// time.
+func (e *Engine) AfterEvent(delta Time, ev Event) { e.AtEvent(e.Now()+delta, ev) }
+
+// At schedules fn to run at absolute simulated time t.
+func (e *Engine) At(t Time, fn func()) { e.AtEvent(t, funcEvent(fn)) }
+
 // After schedules fn delta cycles after the current global time.
-func (e *Engine) After(delta Time, fn func()) { e.At(e.Now()+delta, fn) }
+func (e *Engine) After(delta Time, fn func()) { e.AtEvent(e.Now()+delta, funcEvent(fn)) }
 
 // Run drives the simulation until every non-daemon context finishes and
 // the machine is quiescent (no runnable contexts, no pending events). It
@@ -360,22 +387,22 @@ func (e *Engine) Run() error {
 	for e.abort == nil {
 		// Run every event that is due before (or at) the next context.
 		nextCtx := Time(^uint64(0))
-		if len(e.runnable) > 0 {
-			nextCtx = e.runnable[0].time
+		if e.runnable.len() > 0 {
+			nextCtx = e.runnable.a[0].time
 		}
-		if len(e.events) > 0 && e.events[0].t <= nextCtx {
-			ev := heap.Pop(&e.events).(evItem)
+		if e.events.len() > 0 && e.events.a[0].t <= nextCtx {
+			ev := e.events.pop()
 			if ev.t > e.now {
 				e.now = ev.t
 			}
 			e.running = nil
-			ev.fn()
+			ev.ev.Fire()
 			continue
 		}
-		if len(e.runnable) == 0 {
+		if e.runnable.len() == 0 {
 			break // quiescent
 		}
-		c := heap.Pop(&e.runnable).(*Context)
+		c := e.runnable.pop()
 		c.resumeCh <- struct{}{}
 		<-e.backCh
 		e.running = nil
@@ -398,60 +425,138 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// evItem is a scheduled callback.
+// The heaps below are index-based 4-ary min-heaps (children of i are
+// 4i+1..4i+4). Compared to container/heap they avoid the interface{}
+// boxing on every Push/Pop (an allocation per scheduled event) and halve
+// the tree depth, trading a slightly wider sibling scan on sift-down —
+// the classic d-ary trade that favours push-heavy workloads like event
+// scheduling. Both orderings are strict total orders, so pop order is
+// the unique sorted order and independent of arity.
+
+// evItem is a scheduled occurrence, ordered by (t, seq); seq is unique,
+// so equal-time events fire in scheduling order.
 type evItem struct {
 	t   Time
 	seq uint64
-	fn  func()
+	ev  Event
 }
 
-type evHeap []evItem
-
-func (h evHeap) Len() int { return len(h) }
-func (h evHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func evLess(a, b evItem) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(evItem)) }
-func (h *evHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
-type ctxHeap []*Context
+type evHeap struct{ a []evItem }
 
-func (h ctxHeap) Len() int { return len(h) }
-func (h ctxHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (h *evHeap) len() int { return len(h.a) }
+
+func (h *evHeap) push(it evItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !evLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+}
+
+func (h *evHeap) pop() evItem {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = evItem{} // drop the Event reference
+	h.a = a[:n]
+	a = h.a
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if evLess(a[j], a[m]) {
+				m = j
+			}
+		}
+		if !evLess(a[m], a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
 	}
-	return h[i].id < h[j].id
+	return top
 }
-func (h ctxHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIndex = i
-	h[j].heapIndex = j
+
+// ctxLess orders runnable contexts: earliest local time first, compute
+// contexts before daemons on ties, then creation order. (time, prio, id)
+// is a strict total order because ids are unique.
+func ctxLess(a, b *Context) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.id < b.id
 }
-func (h *ctxHeap) Push(x interface{}) {
-	c := x.(*Context)
-	c.heapIndex = len(*h)
-	*h = append(*h, c)
+
+type ctxHeap struct{ a []*Context }
+
+func (h *ctxHeap) len() int { return len(h.a) }
+
+func (h *ctxHeap) push(c *Context) {
+	h.a = append(h.a, c)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ctxLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
 }
-func (h *ctxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	old[n-1] = nil
-	c.heapIndex = -1
-	*h = old[:n-1]
-	return c
+
+func (h *ctxHeap) pop() *Context {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	h.a = a[:n]
+	a = h.a
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if ctxLess(a[j], a[m]) {
+				m = j
+			}
+		}
+		if !ctxLess(a[m], a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
 }

@@ -38,7 +38,7 @@ func (st *Protocol) handleCheckIn(np *typhoon.NP, pkt *network.Packet) {
 	ns := st.per[np.Node()]
 	switch np.Mem().Tag(pa) {
 	case mem.TagReadWrite:
-		data := np.ForceReadBlock(va)
+		data := np.ForceReadBlockScratch(va)
 		np.Invalidate(va)
 		st.hot.checkins++
 		st.hot.wbDirtyBlocks++

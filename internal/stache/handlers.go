@@ -197,7 +197,7 @@ func (st *Protocol) handleInval(np *typhoon.NP, pkt *network.Packet) {
 	had := uint64(0)
 	switch {
 	case tag == mem.TagReadWrite:
-		data = np.ForceReadBlock(va)
+		data = np.ForceReadBlockScratch(va)
 		had = 1
 		if kind == invalDowngrade {
 			np.SetTag(va, mem.TagReadOnly)
@@ -345,7 +345,7 @@ func (st *Protocol) serveExclusive(np *typhoon.NP, pkt *network.Packet, upgrade 
 func (st *Protocol) grantExclusive(np *typhoon.NP, va mem.VA, d *blockDir, synth mem.PA, r int, upgAck bool) {
 	var data []byte
 	if !upgAck {
-		data = np.ForceReadBlock(va)
+		data = np.ForceReadBlockScratch(va)
 	}
 	np.Invalidate(va)
 	d.state = dirExclusive
@@ -363,7 +363,7 @@ func (st *Protocol) grantExclusive(np *typhoon.NP, va mem.VA, d *blockDir, synth
 
 // replyData sends the home's current copy of va's block.
 func (st *Protocol) replyData(np *typhoon.NP, r int, va mem.VA, handler uint32) {
-	data := np.ForceReadBlock(va)
+	data := np.ForceReadBlockScratch(va)
 	st.hot.dataReplies++
 	np.Charge(costHomeRespExtra)
 	np.SendReply(r, handler, []uint64{uint64(va)}, data)
@@ -474,7 +474,7 @@ func (st *Protocol) completePend(np *typhoon.NP, va mem.VA, d *blockDir, synth m
 		if d.pendUpgrade {
 			np.SendReply(r, HUpgAck, []uint64{uint64(va)}, nil)
 		} else {
-			data := np.ForceReadBlock(va)
+			data := np.ForceReadBlockScratch(va)
 			st.hot.dataReplies++
 			np.SendReply(r, HDataRW, []uint64{uint64(va)}, data)
 		}

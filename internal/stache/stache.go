@@ -322,11 +322,10 @@ func (st *Protocol) replacePage(p *machine.Proc) {
 			// Potentially modified: send the data home.
 			p.Compute(costReplaceDirtyPerBlk)
 			m.ReadBlock(blockPA, buf)
-			data := make([]byte, st.bs)
-			copy(data, buf)
 			st.hot.wbDirtyBlocks++
 			ns.wbOutstanding[blockVA] = true
-			st.sys.Send(p, netRequest, home, HWbDirty, []uint64{uint64(blockVA)}, data)
+			// Send copies on send, so buf is reusable for the next block.
+			st.sys.Send(p, netRequest, home, HWbDirty, []uint64{uint64(blockVA)}, buf)
 		case mem.TagReadOnly:
 			p.Compute(costReplacePerBlock)
 			masks[bi/64] |= 1 << (bi % 64)

@@ -1,0 +1,69 @@
+// Mid-run invariant checking: the companion to stress_test.go's
+// at-quiescence checks. This file is an external test package because it
+// drives real benchmark kernels (em3d imports stache for the check-in
+// ablation, which would cycle with an in-package test).
+package stache_test
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/apps"
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// TestInvariantsAtEveryBarrier runs small EM3D and Ocean instances and
+// re-checks the full coherence invariants at every barrier release, not
+// only at quiescence — a transient-state bug surfaces at the phase that
+// caused it instead of rounds later. At a barrier release every compute
+// thread is suspended with its last reference complete, and with
+// unbounded frames (no replacement) and no prefetch there are no
+// protocol transactions in flight, so the checker's quiescence
+// assumptions hold mid-run.
+func TestInvariantsAtEveryBarrier(t *testing.T) {
+	cases := []struct {
+		name string
+		app  apps.App
+	}{
+		{"em3d", em3d.New(em3d.Config{TotalNodes: 256, Degree: 4, PctRemote: 30, Iters: 2, Seed: 1})},
+		{"ocean", ocean.New(ocean.Config{N: 18, Iters: 2})},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := machine.New(machine.Config{Nodes: 4, CacheSize: 4096, Seed: 5})
+			st := stache.New()
+			typhoon.New(m, st)
+			tc.app.Setup(m)
+			checked := 0
+			failed := false
+			m.Bar.OnRelease(func(epoch uint64, at sim.Time) {
+				if failed {
+					return
+				}
+				checked++
+				if err := st.CheckInvariants(); err != nil {
+					failed = true
+					t.Errorf("invariants broken at barrier epoch %d (cycle %d): %v", epoch, at, err)
+				}
+			})
+			if _, err := m.Run(tc.app.Body); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := tc.app.Verify(m); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("final invariants: %v", err)
+			}
+			if checked == 0 {
+				t.Fatal("no barrier releases observed; the mid-run check never ran")
+			}
+			t.Logf("%s: invariants checked at %d barrier releases", tc.name, checked)
+		})
+	}
+}

@@ -96,7 +96,7 @@ func (np *NP) runBulkChunk(c *sim.Context) {
 		chunk = room
 	}
 	srcPA := np.mustTranslate(bt.srcVA)
-	data := make([]byte, chunk)
+	data := np.bulkScratch[:chunk]
 	np.Mem().ReadRange(srcPA, data)
 	bt.left -= chunk
 	// The destination address is 8-byte aligned, so its low bit carries

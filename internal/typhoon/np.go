@@ -41,13 +41,54 @@ type NP struct {
 	rtlb   *cache.TLB   // reverse TLB: physical page -> tag residency
 	dcache *cache.Cache // NP data cache (handler data structures)
 
-	faults   []Fault
+	faults   faultRing
 	bulk     []*bulkTransfer
 	bulkDone map[int][]*bulkTransfer // outstanding transfers by destination
 	frags    map[fragKey]*fragBuf
 
+	// scratch is the block-transfer staging buffer (one CPU-cache block),
+	// handed out by ForceReadBlockScratch; bulkScratch stages outgoing
+	// bulk chunks. Handlers run to completion and Network.Send copies on
+	// send, so one buffer of each per NP suffices.
+	scratch     []byte
+	bulkScratch [BulkChunkBytes]byte
+
 	hot      npHot
 	lastFold npHot
+}
+
+// faultRing is a growable power-of-two ring of pending block access
+// faults: FIFO pop without the copy-shift of a slice queue, and no
+// allocation once at its high-water size.
+type faultRing struct {
+	buf        []Fault
+	head, tail int
+	n          int
+}
+
+func (r *faultRing) push(f Fault) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 8
+		}
+		buf := make([]Fault, size)
+		for i := 0; i < r.n; i++ {
+			buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head, r.tail = buf, 0, r.n
+	}
+	r.buf[r.tail] = f
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+func (r *faultRing) pop() Fault {
+	f := r.buf[r.head]
+	r.buf[r.head] = Fault{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return f
 }
 
 // Node returns the NP's node ID.
@@ -72,7 +113,7 @@ func (np *NP) Proc() *machine.Proc { return np.sys.M.Procs[np.node] }
 func (np *NP) deliveryNotify(at sim.Time) { np.ctx.Unpark(at) }
 
 func (np *NP) postFault(f Fault) {
-	np.faults = append(np.faults, f)
+	np.faults.push(f)
 	np.ctx.Unpark(f.Proc.Ctx.Time())
 }
 
@@ -86,11 +127,8 @@ func (np *NP) loop(c *sim.Context) {
 		switch {
 		case np.ep.PendingOn(network.VNetReply) > 0:
 			np.runMessage(c, np.ep.Dequeue())
-		case len(np.faults) > 0:
-			f := np.faults[0]
-			copy(np.faults, np.faults[1:])
-			np.faults = np.faults[:len(np.faults)-1]
-			np.runFault(c, f)
+		case np.faults.n > 0:
+			np.runFault(c, np.faults.pop())
 		case np.ep.PendingOn(network.VNetRequest) > 0:
 			np.runMessage(c, np.ep.Dequeue())
 		case len(np.bulk) > 0:
@@ -120,6 +158,10 @@ func (np *NP) runMessage(c *sim.Context, pkt *network.Packet) {
 	if np.sys.software.StealHandlerCycles {
 		np.sys.M.StealCycles(np.node, c.Time()-t0+np.sys.software.DispatchOverhead)
 	}
+	// Handlers run to completion and copy any payload they keep (Send
+	// itself copies on send), so the packet recycles the moment the
+	// handler returns.
+	np.sys.M.Net.Free(pkt)
 }
 
 func (np *NP) runFault(c *sim.Context, f Fault) {
@@ -264,6 +306,19 @@ func (np *NP) ForceReadBlock(va mem.VA) []byte {
 	pa := np.mustTranslate(va)
 	np.ctx.Advance(BlockXferCycles)
 	buf := make([]byte, np.Mem().BlockSize())
+	np.Mem().ReadBlock(pa, buf)
+	return buf
+}
+
+// ForceReadBlockScratch is ForceReadBlock into the NP's block staging
+// buffer: same timing, no allocation. The returned slice is valid only
+// until the next scratch read on this NP — use it for read-and-send
+// (Network.Send copies on send), not for data a handler holds across
+// another block read.
+func (np *NP) ForceReadBlockScratch(va mem.VA) []byte {
+	pa := np.mustTranslate(va)
+	np.ctx.Advance(BlockXferCycles)
+	buf := np.scratch
 	np.Mem().ReadBlock(pa, buf)
 	return buf
 }

@@ -191,6 +191,7 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 			dcache:   cache.New(NPCacheSize, NPCacheWays, m.Cfg.BlockSize, m.Cfg.Seed+0xD00D+uint64(i)),
 			bulkDone: make(map[int][]*bulkTransfer),
 			frags:    make(map[fragKey]*fragBuf),
+			scratch:  make([]byte, m.Cfg.BlockSize),
 		}
 		np.ep.Notify = np.deliveryNotify
 		s.nps = append(s.nps, np)

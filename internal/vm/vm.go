@@ -52,6 +52,7 @@ type PTE struct {
 type PageTable struct {
 	node    int
 	entries map[uint64]PTE
+	gen     uint64 // bumped on every Map/Unmap; validates cached translations
 }
 
 // NewPageTable returns an empty table for node.
@@ -68,16 +69,26 @@ func (pt *PageTable) Lookup(vpn uint64) (PTE, bool) {
 // Map installs (or replaces) a translation. Protocol code remaps stache
 // pages with it (paper §3: "these pages can be remapped or unmapped and
 // freed").
-func (pt *PageTable) Map(vpn uint64, e PTE) { pt.entries[vpn] = e }
+func (pt *PageTable) Map(vpn uint64, e PTE) {
+	pt.gen++
+	pt.entries[vpn] = e
+}
 
 // Unmap removes a translation, returning the old entry.
 func (pt *PageTable) Unmap(vpn uint64) (PTE, bool) {
 	e, ok := pt.entries[vpn]
 	if ok {
+		pt.gen++
 		delete(pt.entries, vpn)
 	}
 	return e, ok
 }
+
+// Gen returns the table's generation, which advances on every Map and
+// Unmap. A caller that caches a Lookup result may keep using it while
+// the generation is unchanged — the basis of the processors' one-entry
+// translation caches.
+func (pt *PageTable) Gen() uint64 { return pt.gen }
 
 // Mapped returns the number of live translations.
 func (pt *PageTable) Mapped() int { return len(pt.entries) }
