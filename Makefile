@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench microbench bench-smoke fuzz-seeds
+.PHONY: ci vet build test race bench microbench bench-smoke digest-check profile fuzz-seeds
 
-ci: vet build race bench-smoke fuzz-seeds
+ci: vet build race bench-smoke digest-check fuzz-seeds
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,17 @@ microbench:
 # iteration: catches bit-rotted benchmark code without paying for timing.
 bench-smoke:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+# digest-check runs the bench sweep and compares its output digest to
+# the committed golden — any drift means simulated results changed.
+digest-check:
+	$(GO) run ./cmd/bench -check testdata/bench.digest
+
+# profile runs the bench sweep under the CPU and allocation profilers;
+# inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) run ./cmd/bench -check testdata/bench.digest -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "profiles written: cpu.prof mem.prof (go tool pprof <file>)"
 
 # fuzz-seeds executes the committed seed corpora of the fuzz targets as
 # ordinary tests (no fuzzing engine; deterministic).

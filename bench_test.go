@@ -8,6 +8,7 @@ package tempest_test
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -266,6 +267,9 @@ func BenchmarkAblationSoftwareTempest(b *testing.B) {
 // (TestParallelDeterminism); the speedup metric reflects the host's
 // available cores.
 func BenchmarkFigure3ParallelSpeedup(b *testing.B) {
+	if runtime.NumCPU() == 1 {
+		b.Skip("single-CPU host: -j 4 cannot run simulations concurrently, so the speedup ratio would only measure scheduling overhead")
+	}
 	opts := harness.Fig3Options{Scale: harness.ScaleReduced}
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()

@@ -274,6 +274,7 @@ func (u *UpdateProtocol) handleBlock(np *typhoon.NP, pkt *network.Packet) {
 	np.ForceWriteBlock(va, pkt.Data)
 	np.Charge(4)
 	st := u.segState(np.Node(), u.segBaseOf(va))
+	np.Sync() // the fuzzy-barrier wait polls received without a timed op
 	st.received++
 	if st.waiter != nil && st.received >= st.target {
 		w := st.waiter

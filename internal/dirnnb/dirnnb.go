@@ -140,6 +140,11 @@ func (s *System) ServiceMiss(p *machine.Proc, va mem.VA, pa mem.PA, pte vm.PTE, 
 		s.c.Inc("dirnnb.private_misses")
 		return cache.LineExclusive
 	}
+	// The directory evaluation below is a run-to-completion coherence
+	// action (it charges latency but never blocks on another context);
+	// assert that so a future edit cannot silently introduce a park.
+	p.Ctx.BeginNoBlock()
+	defer p.Ctx.EndNoBlock()
 
 	block := s.m.Mems[pa.Node()].BlockBase(pa)
 	e := s.entryFor(block)

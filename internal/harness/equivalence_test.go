@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/machine"
+)
+
+// TestStepperVsGoroutineEquivalence runs the same workloads with the
+// engine's two stepper hosts — inline dispatch on the scheduler
+// goroutine (the default) and forced channel dispatch through standby
+// goroutines (Config.GoroutineDispatch) — and asserts every simulated
+// observable is identical: total and ROI cycles, network traffic, and
+// every counter except the engine.* dispatch-mechanics group (which
+// trivially differs, since it records the hosting itself). Both hosts
+// drive the same context state machine, so a divergence here means the
+// inline path changed simulated behaviour, not just speed.
+func TestStepperVsGoroutineEquivalence(t *testing.T) {
+	for _, app := range []string{"em3d", "ocean"} {
+		t.Run(app, func(t *testing.T) {
+			run := func(forceG bool) machine.Result {
+				a, err := MakeApp(app, ScaleReduced, SetSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := MachineConfig(ScaleReduced, 16<<10)
+				cfg.GoroutineDispatch = forceG
+				rr, err := Run(cfg, SysStache, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rr.Res
+			}
+			inline := run(false)
+			forced := run(true)
+
+			if inline.Cycles != forced.Cycles {
+				t.Errorf("cycles: inline %d, goroutine %d", inline.Cycles, forced.Cycles)
+			}
+			if inline.ROICycles != forced.ROICycles {
+				t.Errorf("ROI cycles: inline %d, goroutine %d", inline.ROICycles, forced.ROICycles)
+			}
+			if inline.Net != forced.Net {
+				t.Errorf("network stats: inline %+v, goroutine %+v", inline.Net, forced.Net)
+			}
+
+			a, b := inline.Counters.Snapshot(), forced.Counters.Snapshot()
+			for name, av := range a {
+				if strings.HasPrefix(name, "engine.") {
+					continue
+				}
+				if bv, ok := b[name]; !ok || bv != av {
+					t.Errorf("counter %s: inline %d, goroutine %d", name, av, bv)
+				}
+			}
+			for name := range b {
+				if strings.HasPrefix(name, "engine.") {
+					continue
+				}
+				if _, ok := a[name]; !ok {
+					t.Errorf("counter %s: only present under goroutine dispatch", name)
+				}
+			}
+
+			// Sanity on the mechanics themselves: the default host really
+			// dispatched inline, and the forced host really did not.
+			if inline.Counters.Get("engine.inline_steps") == 0 {
+				t.Error("inline run recorded no inline steps")
+			}
+			if forced.Counters.Get("engine.inline_steps") != 0 {
+				t.Errorf("forced-goroutine run recorded %d inline steps, want 0",
+					forced.Counters.Get("engine.inline_steps"))
+			}
+		})
+	}
+}

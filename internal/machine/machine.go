@@ -48,6 +48,11 @@ type Config struct {
 	Quantum sim.Time
 	// Seed drives random cache replacement.
 	Seed uint64
+	// GoroutineDispatch forces every stepper context (NP dispatch loops)
+	// through its standby goroutine instead of inline dispatch — the
+	// pre-stepper execution model. Results are bit-identical either way;
+	// the flag exists for equivalence tests and A/B measurement.
+	GoroutineDispatch bool
 }
 
 // DefaultConfig returns the Table 2 parameters: 32 nodes, 256 KB 4-way
@@ -167,7 +172,11 @@ type Machine struct {
 // SetMemSystem before allocating shared segments or running.
 func New(cfg Config) *Machine {
 	cfg.applyDefaults()
-	eng := sim.NewEngine(sim.WithQuantum(cfg.Quantum))
+	engOpts := []sim.Option{sim.WithQuantum(cfg.Quantum)}
+	if cfg.GoroutineDispatch {
+		engOpts = append(engOpts, sim.WithGoroutineDispatch())
+	}
+	eng := sim.NewEngine(engOpts...)
 	m := &Machine{
 		Cfg: cfg,
 		Eng: eng,
@@ -284,5 +293,17 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 	res.Net = m.Net.Stats()
 	res.Counters.Add("net.packets.request", res.Net.Packets[network.VNetRequest])
 	res.Counters.Add("net.packets.reply", res.Net.Packets[network.VNetReply])
+	// Engine dispatch counters: how protocol activations were hosted.
+	// These describe simulator mechanics, not simulated behaviour — they
+	// are excluded from result-equivalence comparisons (the two dispatch
+	// hosts trivially differ in them while agreeing on everything else).
+	ds := m.Eng.DispatchStats()
+	res.Counters.Add("engine.inline_dispatches", ds.InlineDispatches)
+	res.Counters.Add("engine.inline_steps", ds.InlineSteps)
+	res.Counters.Add("engine.goroutine_steps", ds.GoroutineSteps)
+	res.Counters.Add("engine.inline_suspends", ds.InlineSuspends)
+	res.Counters.Add("engine.goroutine_switches", ds.GoroutineSwitches)
+	res.Counters.Add("engine.stepper_fallbacks", ds.StepperFallbacks)
+	res.Counters.Add("engine.parks_avoided", ds.ParksAvoided)
 	return res, nil
 }

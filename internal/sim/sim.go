@@ -13,6 +13,22 @@
 // global clock by at most the engine's quantum, mirroring the
 // direct-execution style of execution-driven simulators.
 //
+// Contexts come in two kinds. A goroutine context (Spawn, SpawnDaemon)
+// hosts an arbitrary body on its own goroutine and trades the conch over
+// a single-slot channel pair. A stepper context (SpawnStepper,
+// SpawnStepperDaemon) is a run-to-completion dispatch loop — the WWT
+// lineage's "protocol handlers are events, not threads" — that the
+// scheduler invokes inline on its own goroutine with no channel handoff
+// at all. When an inline-hosted step must suspend mid-flight (a
+// materialised quantum yield, or a blocking wait), the goroutine running
+// the scheduler stays behind as the suspended step's host and hands the
+// scheduler role to a spare goroutine, so the scheduler stack is never
+// pinned and every other stepper keeps dispatching inline; only the
+// resumption of such a suspended step pays a channel handoff. Both hosts
+// drive the identical state machine (same runnable pushes, same
+// park/unpark transitions, same clock updates), so which goroutine hosts
+// a step cannot affect simulated results.
+//
 // Scheduling is allocation-free on the steady-state path: runnable
 // contexts and pending events live in index-based 4-ary min-heaps over
 // slices that are reused across pushes, and events are stored as Event
@@ -27,6 +43,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Time is a simulated clock value in processor cycles.
@@ -72,6 +89,20 @@ const DefaultQuantum Time = 64
 // tears down daemons after Run completes.
 type shutdownSignal struct{}
 
+// schedUnwind is panicked through suspended stepper frames pinning the
+// root goroutine when the run ends first (abort, or quiescence while the
+// step is parked mid-flight): the acting scheduler's final root grant
+// arrives at the pinned frames instead of at Run's re-acquire loop, and
+// they unwind to Run, which reports the outcome. Run recovers it.
+type schedUnwind struct{}
+
+// Step is a stepper context's body: one run-to-completion dispatch. It
+// returns false when no work is pending, which suspends the context in
+// the parked state (its idle reason) until the next Unpark; returning
+// true immediately runs the next step with no scheduling point between
+// steps.
+type Step func(*Context) bool
+
 // Context is a simulated instruction stream scheduled by an Engine.
 type Context struct {
 	eng  *Engine
@@ -90,6 +121,34 @@ type Context struct {
 
 	resumeCh chan struct{}
 	body     func(*Context)
+
+	// Stepper state. step is non-nil for stepper contexts; idleReason is
+	// the park reason reported while the stepper has no work. needG marks
+	// a stepper whose current step is suspended mid-flight on a host
+	// goroutine (it must be resumed there, over the channel protocol);
+	// gStarted says the standby goroutine exists. noBlock counts active
+	// MustNotBlock sections: Park panics while it is positive, asserting
+	// run-to-completion handlers.
+	step       Step
+	idleReason string
+	needG      bool
+	gStarted   bool
+	// rootHosted marks a suspended step whose host goroutine is the root
+	// (the activation was dispatched inline by the root acting as
+	// scheduler, then suspended). Such a step must wait with an ear on
+	// rootWake: if the run ends while its frames pin the root stack, the
+	// final role grant arrives there and unwinds them so Run can finish.
+	rootHosted bool
+	noBlock    int
+	// lazyYield records a LazyYield request: the reschedule happens at
+	// the context's next timing operation, or free of any frame
+	// suspension at the current step's boundary. lazyQuantum records a
+	// deferred quantum force-yield: it materialises only at the step
+	// boundary, because a handler is atomic on the real hardware
+	// (paper §4.2) and deferring the reschedule to the boundary keeps
+	// the handler's shared-state effects on one side of the window.
+	lazyYield   bool
+	lazyQuantum bool
 }
 
 // ID returns the context's creation-order identifier.
@@ -120,6 +179,61 @@ type funcEvent func()
 
 func (f funcEvent) Fire() { f() }
 
+// DispatchStats counts how the engine moved control between contexts.
+// Inline dispatches and avoided parks are the stepper win: activations
+// that cost a function call instead of a goroutine switch.
+type DispatchStats struct {
+	// InlineDispatches counts stepper activations executed inline on the
+	// scheduler goroutine (zero channel handoffs).
+	InlineDispatches uint64
+	// GoroutineSwitches counts channel dispatches: every goroutine
+	// context activation plus stepper fallbacks.
+	GoroutineSwitches uint64
+	// StepperFallbacks counts stepper dispatches that went over the
+	// channel protocol: resumptions of a step suspended mid-flight on a
+	// host goroutine, plus every dispatch under WithGoroutineDispatch.
+	StepperFallbacks uint64
+	// ParksAvoided counts idle parks taken inline: the stepper went idle
+	// and suspended without a goroutine parking, and its next activation
+	// needs no goroutine wakeup either.
+	ParksAvoided uint64
+	// InlineSteps counts handler steps executed inline (several steps can
+	// run back-to-back within one inline dispatch).
+	InlineSteps uint64
+	// GoroutineSteps counts handler steps executed on a host goroutine
+	// after a mid-step suspension (or under WithGoroutineDispatch).
+	// InlineSteps+GoroutineSteps is the total number of protocol
+	// dispatches (paper §5.1: one step = one message, fault, or bulk
+	// chunk dispatched by the NP loop).
+	GoroutineSteps uint64
+	// InlineSuspends counts inline steps that suspended mid-step (a
+	// materialised quantum yield or a blocking wait): each hands the
+	// scheduler role to a spare goroutine so other steppers keep
+	// dispatching inline.
+	InlineSuspends uint64
+}
+
+// fleet aggregates dispatch stats across every engine in the process
+// (atomically, so parallel harness workers may fold concurrently);
+// cmd/bench reports it after a sweep.
+var fleet struct {
+	inline, switches, fallbacks, parks, steps, gsteps, suspends atomic.Uint64
+}
+
+// FleetDispatchStats returns the process-wide dispatch totals across all
+// engines that have finished Run.
+func FleetDispatchStats() DispatchStats {
+	return DispatchStats{
+		InlineDispatches:  fleet.inline.Load(),
+		GoroutineSwitches: fleet.switches.Load(),
+		StepperFallbacks:  fleet.fallbacks.Load(),
+		ParksAvoided:      fleet.parks.Load(),
+		InlineSteps:       fleet.steps.Load(),
+		GoroutineSteps:    fleet.gsteps.Load(),
+		InlineSuspends:    fleet.suspends.Load(),
+	}
+}
+
 // Engine schedules contexts and timed events in global cycle order.
 type Engine struct {
 	quantum  Time
@@ -129,11 +243,32 @@ type Engine struct {
 	events   evHeap
 	evSeq    uint64
 
-	running  *Context
+	running *Context
+	// inline is the stepper whose activation is currently executing on
+	// the acting scheduler goroutine, nil when none is. It is cleared
+	// the moment such an activation suspends mid-step: the goroutine
+	// hands the scheduler role to a spare (Context.suspend) and stays
+	// behind as the suspended step's host, so the scheduler stack is
+	// never pinned and every other stepper keeps dispatching inline.
+	inline   *Context
+	forceG   bool // dispatch every stepper via its goroutine (validation)
 	backCh   chan struct{}
 	shutdown chan struct{}
 	started  bool
 	finished bool
+
+	// Scheduler-role hand-off state (all mutated only with the conch
+	// held). schedGen increments at each hand-off; a scheduler loop that
+	// observes a generation newer than its own has lost the role.
+	// loopIsRoot says whether the acting scheduler is the root goroutine
+	// (the one inside Run); rootWake grants the role back to it.
+	// spareWakes is the pool of parked spare scheduler goroutines.
+	schedGen   uint64
+	loopIsRoot bool
+	rootWake   chan struct{}
+	spareWakes []chan struct{}
+
+	dstats DispatchStats
 
 	abort error // first panic captured from a context
 }
@@ -150,12 +285,25 @@ func WithQuantum(q Time) Option {
 	}
 }
 
+// WithGoroutineDispatch forces every stepper activation through its
+// standby goroutine — the pre-stepper execution model. Both hosts drive
+// the same state machine, so results are bit-identical either way; the
+// option exists so tests can assert exactly that.
+func WithGoroutineDispatch() Option {
+	return func(e *Engine) { e.forceG = true }
+}
+
 // NewEngine returns an empty engine.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		quantum:  DefaultQuantum,
-		backCh:   make(chan struct{}),
+		quantum: DefaultQuantum,
+		// Single-slot resume protocol: the conch trade is a pair of
+		// capacity-1 channels, so neither side's send ever blocks (at
+		// most one token is in flight in each direction) and a dispatch
+		// costs one blocking receive per side instead of two rendezvous.
+		backCh:   make(chan struct{}, 1),
 		shutdown: make(chan struct{}),
+		rootWake: make(chan struct{}, 1),
 	}
 	e.runnable.a = make([]*Context, 0, 64)
 	e.events.a = make([]evItem, 0, 256)
@@ -178,11 +326,18 @@ func (e *Engine) Now() Time {
 // Quantum returns the engine's run-ahead quantum.
 func (e *Engine) Quantum() Time { return e.quantum }
 
+// DispatchStats returns the engine's dispatch counters so far.
+func (e *Engine) DispatchStats() DispatchStats { return e.dstats }
+
 // Spawn creates a context that must finish before Run can succeed.
 // Spawning is allowed both before Run and from inside a running context or
 // event; the new context starts at the current global time.
 func (e *Engine) Spawn(name string, body func(*Context)) *Context {
-	return e.spawn(name, body, false)
+	c := e.spawn(name, false)
+	c.body = body
+	c.gStarted = true
+	go c.run()
+	return c
 }
 
 // SpawnDaemon creates a context that services the machine (for example an
@@ -194,10 +349,35 @@ func (e *Engine) Spawn(name string, body func(*Context)) *Context {
 // granting the retried access first, which is what guarantees forward
 // progress in the simulated protocols.
 func (e *Engine) SpawnDaemon(name string, body func(*Context)) *Context {
-	return e.spawn(name, body, true)
+	c := e.spawn(name, true)
+	c.body = body
+	c.gStarted = true
+	go c.run()
+	return c
 }
 
-func (e *Engine) spawn(name string, body func(*Context), daemon bool) *Context {
+// SpawnStepper creates a stepper context: step is invoked inline by the
+// scheduler, runs to completion, and returns false to idle the context
+// under the given park reason until the next Unpark. The standby
+// goroutine is created lazily, only if a step ever suspends while it
+// cannot be hosted inline.
+func (e *Engine) SpawnStepper(name string, step Step, idleReason string) *Context {
+	c := e.spawn(name, false)
+	c.step = step
+	c.idleReason = idleReason
+	return c
+}
+
+// SpawnStepperDaemon is SpawnStepper for a daemon context (the NP
+// dispatch loop: torn down at quiescence, loses scheduling ties).
+func (e *Engine) SpawnStepperDaemon(name string, step Step, idleReason string) *Context {
+	c := e.spawn(name, true)
+	c.step = step
+	c.idleReason = idleReason
+	return c
+}
+
+func (e *Engine) spawn(name string, daemon bool) *Context {
 	var prio uint8
 	if daemon {
 		prio = 1
@@ -211,34 +391,51 @@ func (e *Engine) spawn(name string, body func(*Context), daemon bool) *Context {
 		state:     StateRunnable,
 		daemon:    daemon,
 		prio:      prio,
-		resumeCh:  make(chan struct{}),
-		body:      body,
+		resumeCh:  make(chan struct{}, 1),
 	}
 	e.contexts = append(e.contexts, c)
 	e.runnable.push(c)
-	go c.run()
 	return c
 }
 
 func (c *Context) run() {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(shutdownSignal); ok {
-				return // engine teardown; nobody is waiting on backCh
-			}
-			c.eng.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
-		}
-		c.state = StateDone
-		// Hand the conch back to the engine, unless the engine is gone.
-		select {
-		case c.eng.backCh <- struct{}{}:
-		case <-c.eng.shutdown:
-		}
-	}()
+	defer c.goroutineExit()
 	// Wait for the first dispatch before touching any simulated state.
 	c.await()
 	c.onDispatched()
 	c.body(c)
+}
+
+// stepperRun hosts a stepper on its standby goroutine: each dispatch runs
+// steps to the next boundary (exactly what an inline dispatch does) and
+// hands the conch straight back. runSteps clears needG at the boundary —
+// the next activation may be hosted inline again.
+func (c *Context) stepperRun() {
+	defer c.goroutineExit()
+	for {
+		c.await()
+		c.onDispatched()
+		c.runSteps()
+		c.eng.backCh <- struct{}{}
+	}
+}
+
+// goroutineExit is the shared teardown of a context goroutine: engine
+// shutdown unwinds silently, a body panic is captured as the engine's
+// abort error, and a finished body hands the conch back.
+func (c *Context) goroutineExit() {
+	if r := recover(); r != nil {
+		if _, ok := r.(shutdownSignal); ok {
+			return // engine teardown; nobody is waiting on backCh
+		}
+		c.eng.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+	}
+	c.state = StateDone
+	// Hand the conch back to the engine, unless the engine is gone.
+	select {
+	case c.eng.backCh <- struct{}{}:
+	case <-c.eng.shutdown:
+	}
 }
 
 // await blocks until the engine dispatches this context, panicking with
@@ -251,24 +448,96 @@ func (c *Context) await() {
 	}
 }
 
+// runSteps executes step bodies back-to-back — the dispatch loop never
+// reschedules between handlers (paper §5.1) — until the stepper goes
+// idle, then takes the idle boundary exactly as Park would: a pending
+// wakeup converts it into a reschedule, otherwise the context parks
+// under its idle reason. The caller (inline dispatch or standby
+// goroutine) regains control at the boundary.
+func (c *Context) runSteps() {
+	for {
+		// Re-evaluated each step: a mid-step suspension hands the
+		// scheduler role away, after which this goroutine is a plain
+		// host and later steps of the activation are goroutine steps.
+		if c.eng.inline == c {
+			c.eng.dstats.InlineSteps++
+		} else {
+			c.eng.dstats.GoroutineSteps++
+		}
+		ok := c.step(c)
+		if c.lazyYield || c.lazyQuantum {
+			// A pending reschedule — a Resume or a deferred quantum
+			// force-yield — reached the step boundary: take it by
+			// returning to the scheduler runnable. Neither host suspends
+			// a frame for this, which is what makes dispatch run inline.
+			c.lazyYield = false
+			c.lazyQuantum = false
+			c.needG = false
+			c.rootHosted = false
+			c.state = StateRunnable
+			c.eng.runnable.push(c)
+			return
+		}
+		if ok {
+			continue
+		}
+		if c.pendingUnpark {
+			c.pendingUnpark = false
+			if c.pendingAt > c.time {
+				c.time = c.pendingAt
+			}
+			c.needG = false
+			c.rootHosted = false
+			c.state = StateRunnable
+			c.eng.runnable.push(c)
+			return
+		}
+		c.parkReason = c.idleReason
+		c.state = StateParked
+		c.needG = false
+		c.rootHosted = false
+		if c.eng.inline == c {
+			c.eng.dstats.ParksAvoided++
+		}
+		return
+	}
+}
+
 // Advance charges n cycles of local execution. If the context has run more
 // than the engine quantum past its last scheduling point it yields so that
 // other contexts (and pending events) catch up.
 func (c *Context) Advance(n Time) {
+	c.Sync()
 	c.time += n
 	if c.time-c.lastYield >= c.eng.quantum {
-		c.Yield()
+		if c.step != nil {
+			// Steppers take the forced yield lazily: it materialises at
+			// the next interaction point (the following Advance, a shared
+			// memory or TLB access, an event or unpark) or for free at
+			// the step boundary. Only context-local work sits between the
+			// crossing and the materialisation point, so the scheduling
+			// order other contexts observe is unchanged.
+			c.lazyQuantum = true
+		} else {
+			c.Yield()
+		}
 	}
 }
 
 // AdvanceAtomic charges n cycles without any possibility of yielding. Use
-// inside sections that must not observe interleaved simulated state.
-func (c *Context) AdvanceAtomic(n Time) { c.time += n }
+// inside sections that must not observe interleaved simulated state. A
+// pending LazyYield still materialises on entry — before the atomic
+// section, never inside it.
+func (c *Context) AdvanceAtomic(n Time) {
+	c.Sync()
+	c.time += n
+}
 
 // SyncTo moves the context's clock forward to t if it lags (idle time,
 // charged without yielding). Service processors use it so a queued item
 // is never handled before the simulated instant it was posted.
 func (c *Context) SyncTo(t Time) {
+	c.Sync()
 	if t > c.time {
 		c.time = t
 	}
@@ -280,17 +549,117 @@ func (c *Context) Yield() {
 	c.checkRunning("Yield")
 	c.state = StateRunnable
 	c.eng.runnable.push(c)
-	c.eng.backCh <- struct{}{}
-	c.await()
+	c.suspend()
+}
+
+// suspend blocks the calling goroutine until the context is dispatched
+// again; the caller has just made the context runnable (Yield) or parked
+// it (Park). A stepper suspending here is mid-step, so it marks needG:
+// its frames live on this goroutine and the next dispatch must resume it
+// here over the channel protocol. If this goroutine is the acting
+// scheduler (the activation was hosted inline), it first hands the
+// scheduler role to a spare goroutine — bumping schedGen retires the
+// scheduler frames below us once the activation completes — and stays
+// behind as the suspended step's host. Nothing may touch engine state
+// between wakeScheduler and the await: the conch transfers with the wake.
+func (c *Context) suspend() {
+	e := c.eng
+	if c.step != nil {
+		c.needG = true
+	}
+	if e.inline == c {
+		e.dstats.InlineSuspends++
+		e.inline = nil
+		c.rootHosted = e.loopIsRoot
+		e.schedGen++
+		e.wakeScheduler()
+		c.hostAwait()
+		c.onDispatched()
+		return
+	}
+	e.backCh <- struct{}{}
+	c.hostAwait()
 	c.onDispatched()
+}
+
+// hostAwait is await for a suspended step. A step whose frames pin the
+// root goroutine additionally listens on rootWake: if the run ends while
+// it is suspended, the acting scheduler's final role grant arrives here
+// instead of at Run's re-acquire loop, and the frames unwind via
+// schedUnwind so Run can finish.
+func (c *Context) hostAwait() {
+	if !c.rootHosted {
+		c.await()
+		return
+	}
+	select {
+	case <-c.resumeCh:
+	case <-c.eng.rootWake:
+		panic(schedUnwind{})
+	case <-c.eng.shutdown:
+		panic(shutdownSignal{})
+	}
 }
 
 // Sleep advances the local clock by n cycles and yields, modeling an idle
 // wait of known length.
 func (c *Context) Sleep(n Time) {
+	c.Sync()
 	c.time += n
 	c.Yield()
 }
+
+// LazyYield requests a reschedule that takes effect at the context's next
+// timing operation (Advance, SyncTo, Park, scheduling an event, an
+// Unpark) or — most often — at the end of the current step, where it is
+// free of frame suspension: the stepper simply returns to the scheduler
+// runnable. The scheduling order is identical to an immediate Yield
+// whenever the work between the request and the materialisation point is
+// context-local (this context's own protocol state), which is the
+// contract Typhoon's Resume satisfies: handler code after a resume only
+// updates the NP's own bookkeeping before its next timed operation. On
+// non-stepper contexts LazyYield degrades to an immediate Yield.
+func (c *Context) LazyYield() {
+	c.checkRunning("LazyYield")
+	if c.step == nil {
+		c.Yield()
+		return
+	}
+	c.lazyYield = true
+}
+
+// Sync materialises a pending LazyYield at exactly this point, pinning
+// the reschedule's position relative to the caller's subsequent effects.
+// Call it before publishing state that other contexts read without a
+// timing operation in between.
+func (c *Context) Sync() {
+	if c.lazyQuantum {
+		c.lazyQuantum = false
+		c.lazyYield = false // one reschedule satisfies both requests
+		c.Yield()
+	}
+}
+
+// syncRunning materialises the running context's pending LazyYield, for
+// engine entry points that are invoked on a different receiver than the
+// caller (Unpark on a target context, AtEvent on the engine).
+func (e *Engine) syncRunning() {
+	if r := e.running; r != nil {
+		r.Sync()
+	}
+}
+
+// BeginNoBlock opens a MustNotBlock section: until the matching
+// EndNoBlock, a Park on this context panics. Dispatchers wrap
+// run-to-completion handlers (message, fault, bulk-chunk bodies; the
+// hardware directory's atomic coherence action) in one, turning the
+// paper's §5.1 "handlers run to completion" contract into an assertion.
+// Yields are still allowed — quantum and resume yields reschedule without
+// blocking on an external wakeup.
+func (c *Context) BeginNoBlock() { c.noBlock++ }
+
+// EndNoBlock closes the innermost MustNotBlock section.
+func (c *Context) EndNoBlock() { c.noBlock-- }
 
 // Park suspends the context until another entity calls Unpark. The reason
 // string appears in deadlock reports. If an Unpark raced ahead of the
@@ -298,6 +667,10 @@ func (c *Context) Sleep(n Time) {
 // consumes it and returns immediately.
 func (c *Context) Park(reason string) {
 	c.checkRunning("Park")
+	c.Sync()
+	if c.noBlock > 0 {
+		panic(fmt.Sprintf("sim: context %q parked (%s) inside a MustNotBlock section: run-to-completion handler blocked", c.name, reason))
+	}
 	if c.pendingUnpark {
 		c.pendingUnpark = false
 		if c.pendingAt > c.time {
@@ -308,9 +681,7 @@ func (c *Context) Park(reason string) {
 	}
 	c.parkReason = reason
 	c.state = StateParked
-	c.eng.backCh <- struct{}{}
-	c.await()
-	c.onDispatched()
+	c.suspend()
 }
 
 // Unpark makes a parked context runnable no earlier than simulated time
@@ -318,6 +689,7 @@ func (c *Context) Park(reason string) {
 // wakeup that its next Park consumes. Unpark must be called while holding
 // the conch (i.e. from a running context or an event callback).
 func (c *Context) Unpark(at Time) {
+	c.eng.syncRunning()
 	switch c.state {
 	case StateParked:
 		if at > c.time {
@@ -353,6 +725,7 @@ func (c *Context) checkRunning(op string) {
 // on the scheduler, may not block, and execute before any context whose
 // clock is later than t. Events at equal times fire in scheduling order.
 func (e *Engine) AtEvent(t Time, ev Event) {
+	e.syncRunning()
 	if now := e.Now(); t < now {
 		t = now
 	}
@@ -370,21 +743,75 @@ func (e *Engine) At(t Time, fn func()) { e.AtEvent(t, funcEvent(fn)) }
 // After schedules fn delta cycles after the current global time.
 func (e *Engine) After(delta Time, fn func()) { e.AtEvent(e.Now()+delta, funcEvent(fn)) }
 
-// Run drives the simulation until every non-daemon context finishes and
-// the machine is quiescent (no runnable contexts, no pending events). It
-// returns an error if a context panicked or if the machine deadlocked with
-// unfinished work.
-func (e *Engine) Run() error {
-	if e.started {
-		return fmt.Errorf("sim: engine already ran")
+// dispatch hands the conch to c. A stepper at a boundary runs inline on
+// the acting scheduler goroutine; everything else (goroutine bodies,
+// steppers suspended mid-step on a host goroutine) trades the conch over
+// the single-slot channels. A needG stepper always has a live host
+// goroutine awaiting its resumeCh — the standby goroutine, or a retired
+// scheduler goroutine that stayed behind at the mid-step hand-off — so
+// the standby is spawned only for a boundary dispatch forced through the
+// channel protocol (WithGoroutineDispatch).
+func (e *Engine) dispatch(c *Context) {
+	if c.step != nil && !c.needG && !e.forceG {
+		e.dstats.InlineDispatches++
+		e.dispatchInline(c)
+		e.running = nil
+		return
 	}
-	e.started = true
-	defer func() {
-		e.finished = true
-		close(e.shutdown) // release daemon goroutines
-	}()
+	e.dstats.GoroutineSwitches++
+	if c.step != nil {
+		e.dstats.StepperFallbacks++
+		if !c.gStarted && !c.needG {
+			c.gStarted = true
+			go c.stepperRun()
+		}
+	}
+	c.resumeCh <- struct{}{}
+	<-e.backCh
+	e.running = nil
+}
 
-	for e.abort == nil {
+// dispatchInline runs one stepper activation on the acting scheduler
+// goroutine. A panic in a step body becomes the engine's abort error,
+// exactly as a goroutine body's panic would; schedUnwind and
+// shutdownSignal keep unwinding through the host's frames.
+func (e *Engine) dispatchInline(c *Context) {
+	defer func() {
+		e.inline = nil
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case schedUnwind, shutdownSignal:
+				panic(r)
+			}
+			e.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+			c.state = StateDone
+		}
+	}()
+	c.onDispatched()
+	e.inline = c
+	c.runSteps()
+}
+
+// scheduleLoop is the scheduler: fire due events, dispatch runnable
+// contexts in (time, prio, id) order. It returns true when the machine
+// aborts or goes quiescent, with the conch routed back to the root
+// goroutine. It returns false when this goroutine loses the scheduler
+// role: a stepper it hosted inline suspended mid-step and handed the
+// role to a spare (Context.suspend); once the suspended activation
+// completes back on this goroutine, the stale loop observes the newer
+// schedGen, hands the conch to the acting scheduler, and retires.
+//
+// park is the goroutine's spare-pool registration channel, nil for the
+// root goroutine (which re-acquires the role via rootWake instead). It
+// is re-registered before the conch is released, so the pool is only
+// ever mutated conch-held.
+func (e *Engine) scheduleLoop(park chan struct{}) (done bool) {
+	e.loopIsRoot = park == nil
+	gen := e.schedGen
+	for {
+		if e.abort != nil {
+			break
+		}
 		// Run every event that is due before (or at) the next context.
 		nextCtx := Time(^uint64(0))
 		if e.runnable.len() > 0 {
@@ -402,11 +829,105 @@ func (e *Engine) Run() error {
 		if e.runnable.len() == 0 {
 			break // quiescent
 		}
-		c := e.runnable.pop()
-		c.resumeCh <- struct{}{}
-		<-e.backCh
-		e.running = nil
+		e.dispatch(e.runnable.pop())
+		if e.schedGen != gen {
+			// The role moved on while this goroutine hosted a suspended
+			// step; the activation has completed, so hand the conch to
+			// the acting scheduler and retire this loop frame.
+			if park != nil {
+				e.spareWakes = append(e.spareWakes, park)
+			}
+			e.backCh <- struct{}{}
+			return false
+		}
 	}
+	if park != nil {
+		// A spare observed the end of the run: hand the scheduler role
+		// (and the conch) back to the root goroutine, which finishes Run.
+		e.spareWakes = append(e.spareWakes, park)
+		e.rootWake <- struct{}{}
+	}
+	return true
+}
+
+// wakeScheduler hands the scheduler role to a spare goroutine, starting
+// one if the pool is empty. Called conch-held by a goroutine about to
+// become a suspended stepper's host; the conch transfers with the wake.
+func (e *Engine) wakeScheduler() {
+	if n := len(e.spareWakes); n > 0 {
+		ch := e.spareWakes[n-1]
+		e.spareWakes = e.spareWakes[:n-1]
+		ch <- struct{}{}
+		return
+	}
+	go e.spareScheduler()
+}
+
+// spareScheduler hosts the scheduler loop whenever the role is handed
+// off. Between turns the goroutine parks in the spare pool; engine
+// shutdown releases it. A shutdownSignal unwinding out of a hosted
+// step's frames (the run finished while the step was still suspended)
+// retires it too.
+func (e *Engine) spareScheduler() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(shutdownSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	wake := make(chan struct{}, 1)
+	for {
+		e.scheduleLoop(wake) // registers wake in the pool before releasing the conch
+		select {
+		case <-wake:
+		case <-e.shutdown:
+			return
+		}
+	}
+}
+
+// Run drives the simulation until every non-daemon context finishes and
+// the machine is quiescent (no runnable contexts, no pending events). It
+// returns an error if a context panicked or if the machine deadlocked with
+// unfinished work.
+func (e *Engine) Run() error {
+	if e.started {
+		return fmt.Errorf("sim: engine already ran")
+	}
+	e.started = true
+	defer func() {
+		e.finished = true
+		close(e.shutdown) // release daemon goroutines
+		fleet.inline.Add(e.dstats.InlineDispatches)
+		fleet.switches.Add(e.dstats.GoroutineSwitches)
+		fleet.fallbacks.Add(e.dstats.StepperFallbacks)
+		fleet.parks.Add(e.dstats.ParksAvoided)
+		fleet.steps.Add(e.dstats.InlineSteps)
+		fleet.gsteps.Add(e.dstats.GoroutineSteps)
+		fleet.suspends.Add(e.dstats.InlineSuspends)
+	}()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(schedUnwind); !ok {
+					panic(r)
+				}
+			}
+		}()
+		for {
+			if e.scheduleLoop(nil) {
+				return
+			}
+			// The root goroutine lost the scheduler role to a spare while
+			// hosting a suspended step; the step has completed and the
+			// conch moved on. Wait for the role grant at the end of the
+			// run (or, if another hosted step pins this stack first, the
+			// grant arrives at rootHostAwait and unwinds to here).
+			<-e.rootWake
+		}
+	}()
 
 	if e.abort != nil {
 		return e.abort

@@ -83,6 +83,8 @@ func (s *System) BulkTransfer(p *machine.Proc, dst int, srcVA, dstVA mem.VA, n i
 // called from the dispatch loop only when no message or fault is waiting,
 // so transfers overlap computation without delaying protocol handling.
 func (np *NP) runBulkChunk(c *sim.Context) {
+	c.BeginNoBlock() // the transfer thread runs to completion like a handler
+	defer c.EndNoBlock()
 	bt := np.bulk[0]
 	chunk := BulkChunkBytes
 	if bt.left < chunk {
@@ -142,6 +144,7 @@ func (np *NP) bulkDoneHandler(pkt *network.Packet) {
 	}
 	bt := q[0]
 	np.bulkDone[pkt.Src] = q[1:]
+	np.ctx.Sync() // the compute thread polls done without a timed op
 	bt.done = true
 	np.ctx.Advance(1)
 	if bt.waiter != nil {

@@ -104,8 +104,20 @@ func (np *NP) System() *System { return np.sys }
 // Machine returns the simulated machine.
 func (np *NP) Machine() *machine.Machine { return np.sys.M }
 
-// Mem returns the node's local memory.
-func (np *NP) Mem() *mem.Memory { return np.sys.M.Mems[np.node] }
+// Mem returns the node's local memory. Every handler touch of simulated
+// memory (data, tags, frames) comes through here, so a pending lazy
+// yield materialises first: the access observes — and is observed in —
+// exactly the scheduling order an eager yield would have produced.
+func (np *NP) Mem() *mem.Memory {
+	np.ctx.Sync()
+	return np.sys.M.Mems[np.node]
+}
+
+// Sync materialises any pending lazy reschedule of the NP's dispatch
+// loop at exactly this point. Protocol handlers call it before
+// publishing state that the compute processor polls without an
+// intervening timed operation (completion flags, received counters).
+func (np *NP) Sync() { np.ctx.Sync() }
 
 // Proc returns the node's compute processor.
 func (np *NP) Proc() *machine.Proc { return np.sys.M.Procs[np.node] }
@@ -117,28 +129,29 @@ func (np *NP) postFault(f Fault) {
 	np.ctx.Unpark(f.Proc.Ctx.Time())
 }
 
-// loop is the NP's software dispatch loop (paper §5.1): the dispatch
-// hardware constructs a handler PC from an incoming message or from
-// status bits (a logged block access fault); the loop reads it and jumps.
-// Reply messages outrank faults, which outrank requests; every handler
-// runs to completion.
-func (np *NP) loop(c *sim.Context) {
-	for {
-		switch {
-		case np.ep.PendingOn(network.VNetReply) > 0:
-			np.runMessage(c, np.ep.Dequeue())
-		case np.faults.n > 0:
-			np.runFault(c, np.faults.pop())
-		case np.ep.PendingOn(network.VNetRequest) > 0:
-			np.runMessage(c, np.ep.Dequeue())
-		case len(np.bulk) > 0:
-			// The block-transfer thread runs only when no messages or
-			// faults are waiting (§5.2).
-			np.runBulkChunk(c)
-		default:
-			c.Park("np idle")
-		}
+// step is one iteration of the NP's software dispatch loop (paper §5.1):
+// the dispatch hardware constructs a handler PC from an incoming message
+// or from status bits (a logged block access fault); the loop reads it
+// and jumps. Reply messages outrank faults, which outrank requests; every
+// handler runs to completion. The scheduler invokes steps inline
+// (sim.SpawnStepperDaemon), back-to-back with no scheduling point between
+// them; returning false parks the NP until the next delivery or fault.
+func (np *NP) step(c *sim.Context) bool {
+	switch {
+	case np.ep.PendingOn(network.VNetReply) > 0:
+		np.runMessage(c, np.ep.Dequeue())
+	case np.faults.n > 0:
+		np.runFault(c, np.faults.pop())
+	case np.ep.PendingOn(network.VNetRequest) > 0:
+		np.runMessage(c, np.ep.Dequeue())
+	case len(np.bulk) > 0:
+		// The block-transfer thread runs only when no messages or
+		// faults are waiting (§5.2).
+		np.runBulkChunk(c)
+	default:
+		return false
 	}
+	return true
 }
 
 func (np *NP) runMessage(c *sim.Context, pkt *network.Packet) {
@@ -154,8 +167,11 @@ func (np *NP) runMessage(c *sim.Context, pkt *network.Packet) {
 	}
 	c.Advance(DispatchCycles + np.sys.software.DispatchOverhead)
 	t0 := c.Time()
+	c.BeginNoBlock() // handlers run to completion: a Park in one is a bug
 	h(np, pkt)
+	c.EndNoBlock()
 	if np.sys.software.StealHandlerCycles {
+		c.Sync() // a resume's yield precedes publishing the stolen cycles
 		np.sys.M.StealCycles(np.node, c.Time()-t0+np.sys.software.DispatchOverhead)
 	}
 	// Handlers run to completion and copy any payload they keep (Send
@@ -174,8 +190,11 @@ func (np *NP) runFault(c *sim.Context, f Fault) {
 	c.SyncTo(f.PostedAt)
 	c.Advance(DispatchCycles + np.sys.software.DispatchOverhead)
 	t0 := c.Time()
+	c.BeginNoBlock()
 	ops.BlockFault(np, f)
+	c.EndNoBlock()
 	if np.sys.software.StealHandlerCycles {
+		c.Sync() // a resume's yield precedes publishing the stolen cycles
 		np.sys.M.StealCycles(np.node, c.Time()-t0+np.sys.software.DispatchOverhead)
 	}
 }
@@ -209,6 +228,7 @@ func (np *NP) MemRef(addr mem.PA, write bool) {
 // unmapped — a user programming error for NP handlers in the paper's
 // model (§5.1); callers decide whether to panic or handle it.
 func (np *NP) Translate(va mem.VA) (mem.PA, vm.PTE, bool) {
+	np.ctx.Sync() // page tables are shared with the CPU's fault path
 	if !np.tlb.Lookup(va.VPN()) {
 		np.hot.tlbMisses++
 		np.ctx.Advance(np.sys.M.Cfg.TLBMissCycles)
@@ -257,6 +277,10 @@ func (np *NP) Invalidate(va mem.VA) {
 // local CPU holds the block owned).
 func (np *NP) DowngradeCPU(va mem.VA) {
 	pa := np.mustTranslate(va)
+	// The CPU polls its cache state directly; a pending lazy yield must
+	// land before the downgrade becomes visible (mustTranslate charges
+	// nothing on a TLB hit, so it alone does not materialise one).
+	np.ctx.Sync()
 	np.sys.M.Caches[np.node].Downgrade(pa)
 }
 
@@ -273,14 +297,17 @@ func (np *NP) chargeTagOp(pa mem.PA) {
 // NP yields so the retried bus transaction wins arbitration over the
 // NP's next handler — without this, a queued invalidation could steal
 // the freshly installed block before the CPU consumes it, livelocking
-// the faulting access.
+// the faulting access. The yield is lazy: handler code after a resume
+// only updates the NP's own bookkeeping, so the reschedule materialises
+// at the NP's next timed operation or — usually — at the step boundary,
+// where it costs no frame suspension and the dispatch stays inline.
 func (np *NP) Resume(p *machine.Proc) {
 	np.ctx.Advance(ResumeCycles)
 	if np.sys.tracer != nil {
 		np.sys.tracer.Emit(trace.Event{T: np.ctx.Time(), Node: np.node, Kind: trace.KResume})
 	}
 	p.Ctx.Unpark(np.ctx.Time())
-	np.ctx.Yield()
+	np.ctx.LazyYield()
 }
 
 // --- Force accesses (Table 1: force-read / force-write) ---

@@ -203,10 +203,11 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 	m.SetMemSystem(s)
 	proto.Attach(s)
 	// Spawn dispatch loops only after attach so handler registration is
-	// complete before any message can arrive.
+	// complete before any message can arrive. Each NP is a stepper: the
+	// scheduler runs its dispatch iterations inline (no goroutine handoff)
+	// and parks it under "np idle" when nothing is pending.
 	for _, np := range s.nps {
-		np := np
-		np.ctx = m.Eng.SpawnDaemon(fmt.Sprintf("np%d", np.node), np.loop)
+		np.ctx = m.Eng.SpawnStepperDaemon(fmt.Sprintf("np%d", np.node), np.step, "np idle")
 	}
 	return s
 }
