@@ -1,14 +1,15 @@
 # Developer and CI entry points. `make ci` is what the GitHub Actions
 # workflow runs: vet, build, the full test suite under the race detector
-# (the parallel harness runner depends on -race staying green), a
-# one-iteration benchmark smoke pass, and the fuzz targets' committed
-# seed corpora.
+# (the parallel harness runner and the sharded engine depend on -race
+# staying green), a one-iteration benchmark smoke pass, the digest gate
+# at one shard and at two (sharded execution must be bit-identical), and
+# the fuzz targets' committed seed corpora.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench microbench bench-smoke digest-check profile fuzz-seeds
+.PHONY: ci vet build test race bench microbench bench-smoke bench-parallel digest-check profile fuzz-seeds
 
-ci: vet build race bench-smoke digest-check fuzz-seeds
+ci: vet build race bench-smoke digest-check bench-parallel fuzz-seeds
 
 vet:
 	$(GO) vet ./...
@@ -38,8 +39,16 @@ bench-smoke:
 
 # digest-check runs the bench sweep and compares its output digest to
 # the committed golden — any drift means simulated results changed.
+# SHARDS > 1 runs each simulation's nodes across that many scheduler
+# goroutines; the digest must not move.
 digest-check:
-	$(GO) run ./cmd/bench -check testdata/bench.digest
+	$(GO) run ./cmd/bench -shards "$${SHARDS:-1}" -check testdata/bench.digest
+
+# bench-parallel is the sharded-execution smoke: the same digest gate
+# with every simulation split across two scheduler goroutines. Identical
+# output is the determinism guarantee of the windowed engine.
+bench-parallel:
+	$(GO) run ./cmd/bench -shards 2 -check testdata/bench.digest
 
 # profile runs the bench sweep under the CPU and allocation profilers;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

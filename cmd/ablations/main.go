@@ -18,6 +18,7 @@ func main() {
 	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
 	only := flag.String("only", "", "run a single ablation: blocksize, placement, budget, netlatency, firsttouch, migratory, em3d, software")
 	jobs := flag.Int("j", 0, "parallel simulations per sweep (0 = all cores)")
+	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -31,7 +32,10 @@ func main() {
 	if *jobs < 0 {
 		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
 	}
-	j := *jobs
+	if nodes := harness.MachineConfig(sc, 0).Nodes; *shards < 1 || *shards > nodes {
+		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (%s scale has %d nodes)", *shards, nodes, sc, nodes))
+	}
+	j, sh := *jobs, *shards
 
 	type ab struct {
 		key   string
@@ -40,21 +44,21 @@ func main() {
 	}
 	all := []ab{
 		{"blocksize", "Coherence-block size (Typhoon/Stache, EM3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc, sh, j) }},
 		{"placement", "Data placement (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc, sh, j) }},
 		{"budget", "Stache page budget (EM3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc, sh, j) }},
 		{"netlatency", "Network latency sensitivity (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc, sh, j) }},
 		{"firsttouch", "First-touch page placement (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationFirstTouch(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationFirstTouch(sc, sh, j) }},
 		{"migratory", "Migratory-sharing extension (MP3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc, sh, j) }},
 		{"em3d", "EM3D protocol chain at 30% remote edges (paper section 4)",
-			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30, sh, j) }},
 		{"software", "Software Tempest (Blizzard) vs. Typhoon hardware",
-			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc, sh, j) }},
 	}
 
 	// Validate -only before running anything, not after the full sweep.

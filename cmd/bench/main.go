@@ -36,13 +36,15 @@ import (
 // Entry is one benchmark run. Seconds maps measurement name to
 // wall-clock duration; Digest fingerprints the rendered output.
 type Entry struct {
-	Label   string             `json:"label"`
-	Date    string             `json:"date"`
-	Go      string             `json:"go"`
-	NumCPU  int                `json:"num_cpu"`
-	Workers int                `json:"workers"`
-	Seconds map[string]float64 `json:"seconds"`
-	Digest  string             `json:"digest"`
+	Label      string             `json:"label"`
+	Date       string             `json:"date"`
+	Go         string             `json:"go"`
+	NumCPU     int                `json:"num_cpu"`
+	GoMaxProcs int                `json:"gomaxprocs,omitempty"`
+	Workers    int                `json:"workers"`
+	Shards     int                `json:"shards,omitempty"`
+	Seconds    map[string]float64 `json:"seconds"`
+	Digest     string             `json:"digest"`
 }
 
 // File is the BENCH_sim.json shape: newest entry last.
@@ -54,6 +56,8 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "benchmark trajectory file to append to")
 	label := flag.String("label", "HEAD", "label for this entry (e.g. a PR or commit name)")
 	jobs := flag.Int("j", 1, "parallel simulations (1 isolates simulator speed from host cores)")
+	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..8 reduced-scale nodes; the digest is identical at every value)")
+	noDedup := flag.Bool("no-dedup", false, "simulate every Figure 3 point, even ones provably identical to a smaller-cache run")
 	check := flag.String("check", "", "golden digest file: compare instead of appending, exit 1 on mismatch")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
@@ -65,6 +69,9 @@ func main() {
 	}
 	if *jobs < 1 {
 		fail(fmt.Errorf("-j %d: worker count must be >= 1", *jobs))
+	}
+	if nodes := harness.MachineConfig(harness.ScaleReduced, 0).Nodes; *shards < 1 || *shards > nodes {
+		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (the reduced scale has %d nodes)", *shards, nodes, nodes))
 	}
 
 	if *cpuprofile != "" {
@@ -92,6 +99,11 @@ func main() {
 			Scale:   harness.ScaleReduced,
 			Apps:    []string{app},
 			Workers: *jobs,
+			Shards:  *shards,
+			NoDedup: *noDedup,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+			},
 		})
 		if err != nil {
 			fail(err)
@@ -111,6 +123,7 @@ func main() {
 		Set:     harness.SetSmall,
 		Pcts:    []int{0, 20, 50},
 		Workers: *jobs,
+		Shards:  *shards,
 	})
 	if err != nil {
 		fail(err)
@@ -170,13 +183,15 @@ func main() {
 	}
 
 	entry := Entry{
-		Label:   *label,
-		Date:    time.Now().UTC().Format("2006-01-02T15:04:05Z"),
-		Go:      runtime.Version(),
-		NumCPU:  runtime.NumCPU(),
-		Workers: *jobs,
-		Seconds: seconds,
-		Digest:  sum,
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Go:         runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *jobs,
+		Shards:     *shards,
+		Seconds:    seconds,
+		Digest:     sum,
 	}
 
 	var f File

@@ -22,6 +22,8 @@ func main() {
 	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
 	appsFlag := flag.String("apps", "", "comma-separated benchmark subset (default: all five)")
 	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
+	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
+	noDedup := flag.Bool("no-dedup", false, "simulate every sweep point, even ones provably identical to a smaller-cache run")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
@@ -36,7 +38,18 @@ func main() {
 	if *jobs < 0 {
 		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
 	}
-	opts := harness.Fig3Options{Scale: scale, Workers: *jobs}
+	if nodes := harness.MachineConfig(scale, 0).Nodes; *shards < 1 || *shards > nodes {
+		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (%s scale has %d nodes)", *shards, nodes, scale, nodes))
+	}
+	opts := harness.Fig3Options{
+		Scale:   scale,
+		Workers: *jobs,
+		Shards:  *shards,
+		NoDedup: *noDedup,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			name = strings.TrimSpace(name)
@@ -49,7 +62,7 @@ func main() {
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rfig3: %d/%d simulations", done, total)
+			fmt.Fprintf(os.Stderr, "\rfig3: %d/%d benchmark/system sweeps", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}

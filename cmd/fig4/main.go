@@ -20,6 +20,7 @@ func main() {
 	setFlag := flag.String("set", "large", "data set: small or large (the paper uses large)")
 	pcts := flag.String("pcts", "", "comma-separated remote-edge percentages (default 0..50 step 10)")
 	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
+	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
@@ -38,7 +39,10 @@ func main() {
 	if *jobs < 0 {
 		fail(fmt.Errorf("-j %d: worker count must be >= 0", *jobs))
 	}
-	opts := harness.Fig4Options{Scale: scale, Set: set, Workers: *jobs}
+	if nodes := harness.MachineConfig(scale, 0).Nodes; *shards < 1 || *shards > nodes {
+		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (%s scale has %d nodes)", *shards, nodes, scale, nodes))
+	}
+	opts := harness.Fig4Options{Scale: scale, Set: set, Workers: *jobs, Shards: *shards}
 	if *pcts != "" {
 		for _, s := range strings.Split(*pcts, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))

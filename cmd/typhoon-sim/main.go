@@ -29,6 +29,7 @@ func main() {
 	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
 	cacheKB := flag.Int("cache", 0, "CPU cache size in KB (0 = Table 2 default)")
 	nodes := flag.Int("nodes", 0, "node count (0 = scale default)")
+	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
 	counters := flag.Bool("counters", false, "dump all event counters")
 	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
 	flag.Parse()
@@ -71,6 +72,10 @@ func main() {
 	if *nodes > 0 {
 		mcfg.Nodes = *nodes
 	}
+	if *shards < 1 || *shards > mcfg.Nodes {
+		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (the machine has %d nodes)", *shards, mcfg.Nodes, mcfg.Nodes))
+	}
+	mcfg.Shards = *shards
 
 	var runs []harness.Job[harness.RunResult]
 	for _, name := range names {

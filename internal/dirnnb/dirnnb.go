@@ -60,8 +60,13 @@ type System struct {
 
 var _ machine.MemSystem = (*System)(nil)
 
-// New attaches a DirNNB memory system to m.
+// New attaches a DirNNB memory system to m. The machine must be serial
+// (Shards <= 1): the directory model mutates global state and remote
+// caches directly from the requesting CPU's context.
 func New(m *machine.Machine) *System {
+	if m.Eng.Shards() > 1 {
+		panic("dirnnb: requires a single-shard machine (directory state is mutated cross-node)")
+	}
 	s := &System{m: m, dir: make(map[mem.PA]*entry), c: stats.NewCounters()}
 	m.SetMemSystem(s)
 	return s

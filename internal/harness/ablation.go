@@ -24,20 +24,24 @@ type AblationRow struct {
 	Extra  map[string]uint64
 }
 
-// Every ablation takes a workers count for the RunAll pool (<= 0 = all
-// cores); each configuration point is one job, and the row order is
-// fixed by the sweep definition regardless of completion order.
+// Every ablation takes a shard count for the simulations themselves
+// (machine.Config.Shards; <= 0 means 1, DirNNB points always run serial)
+// and a workers count for the RunAll pool (<= 0 = all cores); each
+// configuration point is one job, and the row order is fixed by the
+// sweep definition regardless of completion order. Rows are bit-identical
+// at every shard and worker count.
 
 // AblationBlockSize sweeps the coherence-block size on Typhoon/Stache
 // (the paper fixes 32 bytes but defines blocks as 32-128 bytes, §2.4):
 // larger blocks amortise handler overhead against false sharing and
 // wasted transfer.
-func AblationBlockSize(scale Scale, workers int) ([]AblationRow, error) {
+func AblationBlockSize(scale Scale, shards, workers int) ([]AblationRow, error) {
 	var jobs []Job[AblationRow]
 	for _, bs := range []int{32, 64, 128} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
 			cfg := MachineConfig(scale, 0)
 			cfg.BlockSize = bs
+			cfg.Shards = shards
 			app, err := MakeApp("em3d", scale, SetSmall)
 			if err != nil {
 				return AblationRow{}, err
@@ -62,9 +66,10 @@ func AblationBlockSize(scale Scale, workers int) ([]AblationRow, error) {
 // placement recovers much of DirNNB's disadvantage: Ocean under DirNNB
 // with the naive round-robin placement of a shared malloc versus
 // owner-aligned bands, against Typhoon/Stache which needs no placement.
-func AblationPlacement(scale Scale, workers int) ([]AblationRow, error) {
+func AblationPlacement(scale Scale, shards, workers int) ([]AblationRow, error) {
 	cacheKB := 4
 	mcfg := MachineConfig(scale, cacheKB<<10)
+	mcfg.Shards = shards
 	ocfg := ocean.Small()
 	if scale != ScalePaper {
 		ocfg.N = 66
@@ -98,9 +103,10 @@ func AblationPlacement(scale Scale, workers int) ([]AblationRow, error) {
 // AblationStacheBudget sweeps the per-node stache-page budget to expose
 // the FIFO page-replacement machinery (§3: "replacements are rare" with
 // ample memory; a tight budget makes them common).
-func AblationStacheBudget(scale Scale, workers int) ([]AblationRow, error) {
+func AblationStacheBudget(scale Scale, shards, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	mcfg := MachineConfig(scale, 0)
+	mcfg.Shards = shards
 	var jobs []Job[AblationRow]
 	for _, budget := range []int{0, 16, 4, 2} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
@@ -139,13 +145,14 @@ func AblationStacheBudget(scale Scale, workers int) ([]AblationRow, error) {
 // AblationNetLatency sweeps the network latency (Table 2's 11 cycles is
 // "probably optimistic for future systems" and deliberately favours
 // DirNNB; this quantifies the sensitivity the paper mentions).
-func AblationNetLatency(scale Scale, workers int) ([]AblationRow, error) {
+func AblationNetLatency(scale Scale, shards, workers int) ([]AblationRow, error) {
 	var jobs []Job[AblationRow]
 	for _, lat := range []sim.Time{11, 44, 88} {
 		for _, sys := range []System{SysDirNNB, SysStache} {
 			jobs = append(jobs, func(context.Context) (AblationRow, error) {
 				cfg := MachineConfig(scale, 4<<10)
 				cfg.NetLatency = lat
+				cfg.Shards = shards
 				app, err := MakeApp("ocean", scale, SetSmall)
 				if err != nil {
 					return AblationRow{}, err
@@ -168,8 +175,9 @@ func AblationNetLatency(scale Scale, workers int) ([]AblationRow, error) {
 // with first-touch page placement on MP3D (paper §6 cites Stenstrom et
 // al.'s first-touch result). First touch lands each particle page on the
 // node that initialises it — its owner.
-func AblationFirstTouch(scale Scale, workers int) ([]AblationRow, error) {
+func AblationFirstTouch(scale Scale, shards, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 4<<10)
+	mcfg.Shards = shards
 	var jobs []Job[AblationRow]
 	for _, sys := range []System{SysDirNNB, SysStache} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
@@ -192,7 +200,9 @@ func AblationFirstTouch(scale Scale, workers int) ([]AblationRow, error) {
 			c.N = 66
 		}
 		c.OwnerPlaced = true
-		m := machine.New(mcfg)
+		cfg := mcfg
+		cfg.Shards = 1 // DirNNB is serial-only
+		m := machine.New(cfg)
 		dirnnb.New(m)
 		app := ocean.New(c)
 		app.Setup(m)
@@ -226,10 +236,11 @@ func RenderAblation(w io.Writer, title string, rows []AblationRow) error {
 // per remote datum per iteration, check-in annotations cut that to
 // three by replacing the invalidation round trip, and the custom update
 // protocol reaches the minimum of one.
-func AblationEM3DProtocols(scale Scale, pctRemote, workers int) ([]AblationRow, error) {
+func AblationEM3DProtocols(scale Scale, pctRemote, shards, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	ecfg.PctRemote = pctRemote
 	mcfg := MachineConfig(scale, 0)
+	mcfg.Shards = shards
 
 	netMsgs := func(res machine.Result) uint64 {
 		return res.Net.Packets[0] + res.Net.Packets[1] - res.Net.LocalSends
@@ -295,8 +306,9 @@ func AblationEM3DProtocols(scale Scale, pctRemote, workers int) ([]AblationRow, 
 // AblationMigratory measures the migratory-sharing optimisation (a
 // user-level protocol-policy extension, off by default) on MP3D, whose
 // scattered read-modify-writes are the pattern it targets.
-func AblationMigratory(scale Scale, workers int) ([]AblationRow, error) {
+func AblationMigratory(scale Scale, shards, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 64<<10)
+	mcfg.Shards = shards
 	var jobs []Job[AblationRow]
 	for _, mig := range []bool{false, true} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
@@ -339,12 +351,14 @@ func AblationMigratory(scale Scale, workers int) ([]AblationRow, error) {
 // implementation (the paper's announced "native version for existing
 // machines", later published as Blizzard), quantifying what Typhoon's
 // custom hardware buys.
-func AblationSoftwareTempest(scale Scale, workers int) ([]AblationRow, error) {
+func AblationSoftwareTempest(scale Scale, shards, workers int) ([]AblationRow, error) {
 	var jobs []Job[AblationRow]
 	for _, name := range []string{"ocean", "em3d"} {
 		for _, software := range []bool{false, true} {
 			jobs = append(jobs, func(context.Context) (AblationRow, error) {
-				m := machine.New(MachineConfig(scale, 16<<10))
+				cfg := MachineConfig(scale, 16<<10)
+				cfg.Shards = shards
+				m := machine.New(cfg)
 				st := stache.New()
 				label := name + "/typhoon"
 				if software {

@@ -59,14 +59,49 @@ type Fig3Options struct {
 	// Workers sizes the worker pool; <= 0 uses all cores. Results are
 	// bit-identical at every worker count.
 	Workers int
-	// Progress, when non-nil, is called after each simulation finishes.
+	// Shards runs each simulation's nodes across this many scheduler
+	// goroutines (machine.Config.Shards; <= 0 means 1; DirNNB points
+	// always run serial). Results are bit-identical at every value.
+	Shards int
+	// NoDedup disables the redundant-point elimination: normally a sweep
+	// point whose run never evicted a CPU cache line is reused for every
+	// larger cache size of the same data set, because such a run is
+	// provably bit-identical at the larger size. Opting out forces every
+	// point to simulate — e.g. to demonstrate the equivalence itself.
+	NoDedup bool
+	// Logf, when non-nil, receives one line per reused sweep point after
+	// the sweep completes, in deterministic sweep order.
+	Logf func(format string, args ...any)
+	// Progress, when non-nil, is called after each (benchmark, system)
+	// sweep finishes.
 	Progress func(done, total int)
+}
+
+// fig3Systems is the pair every Figure 3 cell compares.
+var fig3Systems = []System{SysDirNNB, SysStache}
+
+// fig3Run is one sweep point's result, with its dedup provenance.
+type fig3Run struct {
+	RunResult
+	reusedFromKB int // when > 0, copied from this cache size's run
 }
 
 // Figure3 reproduces the paper's Figure 3: the execution time of
 // Typhoon/Stache relative to DirNNB across benchmarks and dataset/cache
-// combinations. Each (benchmark, config, system) point is one job on
-// the RunAll pool.
+// combinations. Each (benchmark, system) pair is one job on the RunAll
+// pool; within a job the cache sizes of one data set run in the given
+// (ascending) order so that redundant points can reuse earlier results.
+//
+// The dedup witness: the cache indexes sets by block % numSets and
+// consults its replacement RNG only when a fill finds no free way. A
+// run that performed zero evictions machine-wide therefore never drew
+// from the RNG, and at any larger cache whose set count is a multiple
+// of the witness's (same ways and block size — cache sizes here are
+// powers of two), each set holds a subset of the blocks of the set it
+// refines, so it can never overflow either. By induction over the event
+// schedule the two runs are bit-identical: same hits, misses, upgrades,
+// protocol traffic, and cycle counts. EXPERIMENTS.md's observation that
+// appbt and ocean render identical rows at 16K/64K/256K is this effect.
 func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	names := opts.Apps
 	if names == nil {
@@ -76,19 +111,44 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	if configs == nil {
 		configs = Fig3Configs(opts.Scale)
 	}
-	// Two jobs per cell: DirNNB at 2k, Typhoon/Stache at 2k+1.
-	var jobs []Job[RunResult]
+	var jobs []Job[[]fig3Run]
 	for _, name := range names {
-		for _, fc := range configs {
-			for _, sys := range []System{SysDirNNB, SysStache} {
-				jobs = append(jobs, func(context.Context) (RunResult, error) {
+		for _, sys := range fig3Systems {
+			jobs = append(jobs, func(context.Context) ([]fig3Run, error) {
+				// Per data set: the last config actually simulated, and
+				// whether that run never evicted a CPU cache line.
+				type witness struct {
+					cacheKB int
+					clean   bool
+					res     RunResult
+				}
+				last := make(map[DataSet]witness)
+				out := make([]fig3Run, 0, len(configs))
+				for _, fc := range configs {
+					if w, ok := last[fc.Set]; ok && !opts.NoDedup && w.clean &&
+						fc.CacheKB >= w.cacheKB && fc.CacheKB%w.cacheKB == 0 {
+						out = append(out, fig3Run{RunResult: w.res, reusedFromKB: w.cacheKB})
+						continue
+					}
 					app, err := MakeApp(name, opts.Scale, fc.Set)
 					if err != nil {
-						return RunResult{}, err
+						return nil, err
 					}
-					return Run(MachineConfig(opts.Scale, fc.CacheKB<<10), sys, app)
-				})
-			}
+					cfg := MachineConfig(opts.Scale, fc.CacheKB<<10)
+					cfg.Shards = opts.Shards
+					rr, err := Run(cfg, sys, app)
+					if err != nil {
+						return nil, err
+					}
+					last[fc.Set] = witness{
+						cacheKB: fc.CacheKB,
+						clean:   rr.Res.Counters.Get("cpu.evictions") == 0,
+						res:     rr,
+					}
+					out = append(out, fig3Run{RunResult: rr})
+				}
+				return out, nil
+			})
 		}
 	}
 	results, err := RunAllOpts(jobs, RunOptions{Workers: opts.Workers, Progress: opts.Progress})
@@ -96,20 +156,30 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 		return nil, err
 	}
 	var cells []Fig3Cell
-	i := 0
-	for _, name := range names {
-		for _, fc := range configs {
-			dir, typh := results[i], results[i+1]
-			i += 2
+	for ni, name := range names {
+		dir, typh := results[ni*2], results[ni*2+1]
+		for ci, fc := range configs {
 			cells = append(cells, Fig3Cell{
 				App:     name,
 				Set:     fc.Set,
 				CacheKB: fc.CacheKB,
-				Typhoon: typh.Res.ROICycles,
-				DirNNB:  dir.Res.ROICycles,
-				Relative: float64(typh.Res.ROICycles) /
-					float64(dir.Res.ROICycles),
+				Typhoon: typh[ci].Res.ROICycles,
+				DirNNB:  dir[ci].Res.ROICycles,
+				Relative: float64(typh[ci].Res.ROICycles) /
+					float64(dir[ci].Res.ROICycles),
 			})
+		}
+	}
+	if opts.Logf != nil {
+		for ni, name := range names {
+			for si, sys := range fig3Systems {
+				for ci, fc := range configs {
+					if r := results[ni*2+si][ci]; r.reusedFromKB > 0 {
+						opts.Logf("fig3: %s on %s %s/%dK: reused the %dK result (that run evicted no cache line, so the larger cache is provably identical)",
+							name, sys, fc.Set, fc.CacheKB, r.reusedFromKB)
+					}
+				}
+			}
 		}
 	}
 	return cells, nil

@@ -30,6 +30,10 @@ type Fig4Options struct {
 	// Workers sizes the worker pool; <= 0 uses all cores. Results are
 	// bit-identical at every worker count.
 	Workers int
+	// Shards runs each simulation's nodes across this many scheduler
+	// goroutines (machine.Config.Shards; <= 0 means 1; DirNNB points
+	// always run serial). Results are bit-identical at every value.
+	Shards int
 	// Progress, when non-nil, is called after each simulation finishes.
 	Progress func(done, total int)
 }
@@ -51,6 +55,7 @@ func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 		set = SetLarge
 	}
 	mcfg := MachineConfig(opts.Scale, 0)
+	mcfg.Shards = opts.Shards
 	var jobs []Job[em3dRun]
 	for _, pct := range pcts {
 		for _, sys := range fig4Systems {

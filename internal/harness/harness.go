@@ -41,6 +41,16 @@ type RunResult struct {
 // system is SysUpdate the app must be an *em3d.UpdateApp placeholder
 // built by the caller via BuildUpdate.
 func Run(cfg machine.Config, system System, app apps.App) (RunResult, error) {
+	if system == SysDirNNB && cfg.Shards > 1 {
+		// The DirNNB model services misses by mutating the global
+		// directory and other nodes' caches directly from the requesting
+		// CPU's context (zero-cost hardware state, paper §5), so its runs
+		// must stay on one scheduler goroutine. Clamping (rather than
+		// rejecting) lets one -shards setting drive sweeps that compare
+		// both systems; results are bit-identical at every shard count
+		// either way.
+		cfg.Shards = 1
+	}
 	m := machine.New(cfg)
 	var st *stache.Protocol
 	switch system {

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/machine"
+)
+
+// TestShardedVsSerialEquivalence runs the same workloads serially and
+// under sharded execution (2 and 4 shards of the 8 reduced-scale nodes)
+// and asserts every observable is identical — total and ROI cycles,
+// network traffic, and every counter including the engine.* dispatch
+// group: each shard's sub-schedule is the serial schedule restricted to
+// its nodes, so even the dispatch mechanics must agree counter for
+// counter. Run under -race this doubles as the memory-safety proof of
+// the window protocol. The em3d-update case exercises a custom
+// user-level protocol (NP-to-NP pushes, fuzzy barrier) under sharding.
+func TestShardedVsSerialEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, shards int) machine.Result
+	}{
+		{"em3d", func(t *testing.T, shards int) machine.Result {
+			return shardedRun(t, "em3d", shards)
+		}},
+		{"ocean", func(t *testing.T, shards int) machine.Result {
+			return shardedRun(t, "ocean", shards)
+		}},
+		{"em3d-update", func(t *testing.T, shards int) machine.Result {
+			cfg := MachineConfig(ScaleReduced, 16<<10)
+			cfg.Shards = shards
+			rr, err := RunEM3DUpdate(cfg, EM3DConfig(ScaleReduced, SetSmall))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rr.Res
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.run(t, 1)
+			for _, shards := range []int{2, 4} {
+				sharded := tc.run(t, shards)
+				if serial.Cycles != sharded.Cycles {
+					t.Errorf("shards=%d: cycles %d, serial %d", shards, sharded.Cycles, serial.Cycles)
+				}
+				if serial.ROICycles != sharded.ROICycles {
+					t.Errorf("shards=%d: ROI cycles %d, serial %d", shards, sharded.ROICycles, serial.ROICycles)
+				}
+				if serial.Net != sharded.Net {
+					t.Errorf("shards=%d: network stats %+v, serial %+v", shards, sharded.Net, serial.Net)
+				}
+				a, b := serial.Counters.Snapshot(), sharded.Counters.Snapshot()
+				for name, av := range a {
+					if bv, ok := b[name]; !ok || bv != av {
+						t.Errorf("counter %s: serial %d, shards=%d %d", name, av, shards, bv)
+					}
+				}
+				for name := range b {
+					if _, ok := a[name]; !ok {
+						t.Errorf("counter %s: only present with shards=%d", name, shards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// shardedRun executes one benchmark on Typhoon/Stache with the given
+// shard count.
+func shardedRun(t *testing.T, app string, shards int) machine.Result {
+	t.Helper()
+	a, err := MakeApp(app, ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MachineConfig(ScaleReduced, 16<<10)
+	cfg.Shards = shards
+	rr, err := Run(cfg, SysStache, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr.Res
+}

@@ -53,6 +53,13 @@ type Config struct {
 	// pre-stepper execution model. Results are bit-identical either way;
 	// the flag exists for equivalence tests and A/B measurement.
 	GoroutineDispatch bool
+	// Shards runs the simulation itself in parallel: nodes are
+	// partitioned across this many scheduler goroutines executing
+	// conservative time windows of min(NetLatency, BarrierLatency)
+	// cycles — the machine's cross-node interaction latency floor.
+	// Results are bit-identical for every value. Zero means 1 (serial);
+	// values outside [1, Nodes] are rejected by New.
+	Shards int
 }
 
 // DefaultConfig returns the Table 2 parameters: 32 nodes, 256 KB 4-way
@@ -103,6 +110,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 }
 
@@ -164,18 +174,28 @@ type Machine struct {
 	// main CPU); the processor absorbs them at its next reference.
 	stalls []sim.Time
 
-	roiStart, roiEnd sim.Time
-	ran              bool
+	ran bool
 }
 
 // New builds a machine from cfg. A MemSystem must be attached with
 // SetMemSystem before allocating shared segments or running.
 func New(cfg Config) *Machine {
 	cfg.applyDefaults()
+	if cfg.Shards < 1 || cfg.Shards > cfg.Nodes {
+		panic(fmt.Sprintf("machine: %d shards outside [1, %d nodes]", cfg.Shards, cfg.Nodes))
+	}
 	engOpts := []sim.Option{sim.WithQuantum(cfg.Quantum)}
 	if cfg.GoroutineDispatch {
 		engOpts = append(engOpts, sim.WithGoroutineDispatch())
 	}
+	// The lookahead window: nodes interact only through the network and
+	// the barrier, so the smaller of the two latencies bounds how far one
+	// shard can run without seeing another shard's effects.
+	window := cfg.NetLatency
+	if cfg.BarrierLatency < window {
+		window = cfg.BarrierLatency
+	}
+	engOpts = append(engOpts, sim.WithShards(cfg.Shards, cfg.Nodes, window))
 	eng := sim.NewEngine(engOpts...)
 	m := &Machine{
 		Cfg: cfg,
@@ -268,7 +288,7 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 	m.ran = true
 	for _, p := range m.Procs {
 		p := p
-		p.Ctx = m.Eng.Spawn(fmt.Sprintf("cpu%d", p.node), func(c *sim.Context) {
+		p.Ctx = m.Eng.SpawnOn(p.node, fmt.Sprintf("cpu%d", p.node), func(c *sim.Context) {
 			body(p)
 		})
 	}
@@ -276,14 +296,21 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 		return Result{}, err
 	}
 	var res Result
+	var roiStart, roiEnd sim.Time
 	for _, p := range m.Procs {
 		if p.Ctx.Time() > res.Cycles {
 			res.Cycles = p.Ctx.Time()
 		}
+		if p.roiStart > roiStart {
+			roiStart = p.roiStart
+		}
+		if p.roiEnd > roiEnd {
+			roiEnd = p.roiEnd
+		}
 	}
 	res.ROICycles = res.Cycles
-	if m.roiEnd > m.roiStart {
-		res.ROICycles = m.roiEnd - m.roiStart
+	if roiEnd > roiStart {
+		res.ROICycles = roiEnd - roiStart
 	}
 	res.Counters = stats.NewCounters()
 	for _, p := range m.Procs {

@@ -23,6 +23,7 @@ type ProcStats struct {
 	TLBMisses   uint64
 	CacheMisses uint64
 	Upgrades    uint64
+	Evictions   uint64 // valid lines displaced by cache fills
 	PageFaults  uint64
 	BlockFaults uint64 // retries signalled by the memory system
 	Computes    uint64 // cycles charged via Compute
@@ -53,6 +54,11 @@ type Proc struct {
 	trVPN uint64
 	trGen uint64 // page-table generation trPTE was read at
 	trPTE vm.PTE
+
+	// roiStart/roiEnd are this processor's ROI marks; Run folds the
+	// per-processor maxima, so the result matches the old machine-global
+	// max while each mark is written only by its own context (shard).
+	roiStart, roiEnd sim.Time
 
 	Stats ProcStats
 }
@@ -91,16 +97,16 @@ func (p *Proc) Barrier() {
 // processor immediately after a barrier; the latest caller defines the
 // region start.
 func (p *Proc) ROIStart() {
-	if p.Ctx.Time() > p.m.roiStart {
-		p.m.roiStart = p.Ctx.Time()
+	if p.Ctx.Time() > p.roiStart {
+		p.roiStart = p.Ctx.Time()
 	}
 }
 
 // ROIEnd marks the end of the measured region; the latest caller defines
 // the region end.
 func (p *Proc) ROIEnd() {
-	if p.Ctx.Time() > p.m.roiEnd {
-		p.m.roiEnd = p.Ctx.Time()
+	if p.Ctx.Time() > p.roiEnd {
+		p.roiEnd = p.Ctx.Time()
 	}
 }
 
@@ -180,6 +186,7 @@ func (p *Proc) access(va mem.VA, write bool) mem.PA {
 		} else {
 			victim, vs := p.cc.Fill(pa, state)
 			if vs != cache.LineInvalid {
+				p.Stats.Evictions++
 				p.m.Sys.Evicted(p, victim, vs)
 			}
 		}
@@ -224,6 +231,7 @@ func (p *Proc) foldCounters(c *stats.Counters) {
 	c.Add("cpu.tlb_misses", p.Stats.TLBMisses)
 	c.Add("cpu.cache_misses", p.Stats.CacheMisses)
 	c.Add("cpu.upgrades", p.Stats.Upgrades)
+	c.Add("cpu.evictions", p.Stats.Evictions)
 	c.Add("cpu.page_faults", p.Stats.PageFaults)
 	c.Add("cpu.block_fault_retries", p.Stats.BlockFaults)
 	c.Add("cpu.compute_cycles", p.Stats.Computes)

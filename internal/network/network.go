@@ -94,10 +94,13 @@ func (p *Packet) PayloadBytes() int {
 // Fire delivers the packet: it runs as a sim.Event at the delivery time,
 // enqueues the packet at its destination, and wakes the receiver. Using
 // the packet itself as the event avoids a closure allocation per send.
+// DeliveredAt is fixed at send time (SentAt + latency, exactly the time
+// the delivery event fires at), so Fire never consults a global clock —
+// under sharded execution the packet may fire on a different shard than
+// it was sent from.
 func (p *Packet) Fire() {
 	dst := p.dst
 	p.dst = nil
-	p.DeliveredAt = dst.net.eng.Now()
 	dst.queues[p.VNet].push(p)
 	if dst.Notify != nil {
 		dst.Notify(p.DeliveredAt)
@@ -191,8 +194,26 @@ type Network struct {
 	latency      sim.Time
 	localLatency sim.Time
 	endpoints    []*Endpoint
-	stats        Stats
-	free         *Packet // LIFO free list of pooled packets
+	// sh holds the per-shard dataplane state: traffic counters (bumped at
+	// send time, on the sender's shard) and the pooled-packet free list
+	// (packets are allocated on the sender's shard and freed on the
+	// receiver's, so each list is touched only under its shard's conch).
+	// One entry on a serial engine.
+	sh []netShard
+}
+
+// netShard is one shard's slice of the network state.
+type netShard struct {
+	stats Stats
+	free  *Packet // LIFO free list of pooled packets
+}
+
+func (s *Stats) add(o Stats) {
+	s.Packets[VNetRequest] += o.Packets[VNetRequest]
+	s.Packets[VNetReply] += o.Packets[VNetReply]
+	s.PayloadBytes[VNetRequest] += o.PayloadBytes[VNetRequest]
+	s.PayloadBytes[VNetReply] += o.PayloadBytes[VNetReply]
+	s.LocalSends += o.LocalSends
 }
 
 // Config configures a Network.
@@ -214,7 +235,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if ll == 0 {
 		ll = 1
 	}
-	n := &Network{eng: eng, latency: cfg.Latency, localLatency: ll}
+	n := &Network{eng: eng, latency: cfg.Latency, localLatency: ll, sh: make([]netShard, eng.Shards())}
 	for i := 0; i < cfg.Nodes; i++ {
 		n.endpoints = append(n.endpoints, &Endpoint{node: i, net: n})
 	}
@@ -227,13 +248,21 @@ func (n *Network) Endpoint(node int) *Endpoint { return n.endpoints[node] }
 // Latency returns the configured end-to-end latency.
 func (n *Network) Latency() sim.Time { return n.latency }
 
-// Stats returns a copy of the traffic counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a copy of the traffic counters, summed across shards.
+// During a sharded run only the calling shard's slice is coherent; the
+// full sum is for after Run (or between windows).
+func (n *Network) Stats() Stats {
+	s := n.sh[0].stats
+	for i := 1; i < len(n.sh); i++ {
+		s.add(n.sh[i].stats)
+	}
+	return s
+}
 
-// alloc takes a packet from the free list, or mints one.
-func (n *Network) alloc() *Packet {
-	if p := n.free; p != nil {
-		n.free = p.next
+// alloc takes a packet from the given shard's free list, or mints one.
+func (n *Network) alloc(sh *netShard) *Packet {
+	if p := sh.free; p != nil {
+		sh.free = p.next
 		p.next = nil
 		return p
 	}
@@ -246,14 +275,19 @@ func (n *Network) alloc() *Packet {
 // packets the pool did not produce (caller-constructed packets) and
 // packets still in flight, so over-freeing is harmless but aliasing a
 // freed payload is not.
+// Free runs on the receiver, so the packet joins the free list of the
+// destination node's shard; its next reuse is by a sender on that same
+// shard. Reuse order therefore stays a pure function of simulated
+// history under any shard count.
 func (n *Network) Free(p *Packet) {
 	if p == nil || !p.pooled || p.dst != nil {
 		return
 	}
+	sh := &n.sh[n.eng.ShardOf(p.Dst)]
 	p.Args = nil
 	p.Data = nil
-	p.next = n.free
-	n.free = p
+	p.next = sh.free
+	sh.free = p
 }
 
 // Send injects a packet. It must be called while holding the conch; the
@@ -271,20 +305,21 @@ func (n *Network) Send(p *Packet) {
 	if sz := p.PayloadBytes(); sz > MaxPayloadBytes {
 		panic(fmt.Sprintf("network: packet payload %d bytes exceeds %d-byte limit", sz, MaxPayloadBytes))
 	}
+	sh := &n.sh[n.eng.ShardOf(p.Src)]
 	lat := n.latency
 	if p.Src == p.Dst {
 		lat = n.localLatency
-		n.stats.LocalSends++
+		sh.stats.LocalSends++
 	}
-	n.stats.Packets[p.VNet]++
-	n.stats.PayloadBytes[p.VNet] += uint64(p.PayloadBytes())
+	sh.stats.Packets[p.VNet]++
+	sh.stats.PayloadBytes[p.VNet] += uint64(p.PayloadBytes())
 
-	q := n.alloc()
+	q := n.alloc(sh)
 	q.Src, q.Dst, q.VNet, q.Handler = p.Src, p.Dst, p.VNet, p.Handler
 	q.Args = append(q.argStore[:0], p.Args...)
 	q.Data = append(q.dataStore[:0], p.Data...)
-	q.SentAt = n.eng.Now()
-	q.DeliveredAt = 0
+	q.SentAt = n.eng.NowFor(p.Src)
+	q.DeliveredAt = q.SentAt + lat
 	q.dst = n.endpoints[p.Dst]
-	n.eng.AfterEvent(lat, q)
+	n.eng.AtEventFromTo(q.DeliveredAt, q.Src, q.Dst, q)
 }

@@ -4,8 +4,9 @@
 // it hosts one context per simulated instruction stream (a compute
 // processor's thread, a network-interface processor's dispatch loop) and
 // interleaves them in global cycle order. Exactly one context runs at a
-// time (cooperative "conch" scheduling), so simulated state needs no
-// locking and every run of the same configuration is bit-identical.
+// time per shard (cooperative "conch" scheduling), so simulated state
+// needs no locking and every run of the same configuration is
+// bit-identical.
 //
 // Contexts account for their own local time with Advance and interact with
 // the rest of the machine only at explicit points: Yield, Park/Unpark, and
@@ -29,14 +30,38 @@
 // park/unpark transitions, same clock updates), so which goroutine hosts
 // a step cannot affect simulated results.
 //
+// # Sharded execution
+//
+// With WithShards the engine partitions its origins (simulated nodes)
+// across shards, each with its own clock, runnable heap, and event heap,
+// and runs them concurrently in conservative time windows: a central
+// coordinator grants every shard the window [M, M+W), where M is the
+// earliest pending item machine-wide and W is the configured lookahead
+// (the minimum cross-shard interaction latency — for the paper's machine,
+// the 11-cycle network and barrier latencies). Within a window a shard's
+// nodes cannot be affected by another shard — every cross-shard
+// interaction is a timed event at least W cycles in the future — so the
+// shards execute independently; at the boundary the coordinator merges
+// cross-shard events (the per-shard outboxes) and barrier arrivals, picks
+// the next window, and repeats.
+//
+// Determinism survives sharding because every ordering the simulation can
+// observe is a strict total order independent of the partitioning: events
+// carry the stable key (time, origin, per-origin sequence), whose
+// components depend only on the originating node's own history, and
+// runnable contexts order by (time, prio, id). Merging a window's
+// cross-shard events is therefore plain heap insertion — the key already
+// fixes the fire order — and a run's results are bit-identical for every
+// shard count, which the harness equivalence tests and the digest gate
+// assert.
+//
 // Scheduling is allocation-free on the steady-state path: runnable
 // contexts and pending events live in index-based 4-ary min-heaps over
 // slices that are reused across pushes, and events are stored as Event
 // interface values (pointer-shaped, so scheduling a *T or a func boxes
-// nothing). Because both heap orderings are strict total orders — events
-// by (time, seq), contexts by (time, prio, id) — any min-heap pops them
-// in exactly sorted order, so the heap's arity and internal layout cannot
-// affect simulated results.
+// nothing). Because both heap orderings are strict total orders, any
+// min-heap pops them in exactly sorted order, so the heap's arity and
+// internal layout cannot affect simulated results.
 package sim
 
 import (
@@ -48,6 +73,10 @@ import (
 
 // Time is a simulated clock value in processor cycles.
 type Time uint64
+
+// infTime is the unreachable "no bound" time: the serial window limit and
+// the empty-heap sentinel.
+const infTime = Time(^uint64(0))
 
 // State describes a context's scheduling state.
 type State uint8
@@ -90,10 +119,12 @@ const DefaultQuantum Time = 64
 type shutdownSignal struct{}
 
 // schedUnwind is panicked through suspended stepper frames pinning the
-// root goroutine when the run ends first (abort, or quiescence while the
-// step is parked mid-flight): the acting scheduler's final root grant
+// root goroutine when a serial run ends first (abort, or quiescence while
+// the step is parked mid-flight): the acting scheduler's final root grant
 // arrives at the pinned frames instead of at Run's re-acquire loop, and
-// they unwind to Run, which reports the outcome. Run recovers it.
+// they unwind to Run, which reports the outcome. Run recovers it. Sharded
+// runs have no root scheduler — every shard scheduler is pool-style — so
+// pinned hosts there unwind via shutdownSignal at teardown instead.
 type schedUnwind struct{}
 
 // Step is a stepper context's body: one run-to-completion dispatch. It
@@ -106,6 +137,7 @@ type Step func(*Context) bool
 // Context is a simulated instruction stream scheduled by an Engine.
 type Context struct {
 	eng  *Engine
+	sh   *shard
 	id   int
 	name string
 
@@ -213,6 +245,16 @@ type DispatchStats struct {
 	InlineSuspends uint64
 }
 
+func (d *DispatchStats) add(o DispatchStats) {
+	d.InlineDispatches += o.InlineDispatches
+	d.GoroutineSwitches += o.GoroutineSwitches
+	d.StepperFallbacks += o.StepperFallbacks
+	d.ParksAvoided += o.ParksAvoided
+	d.InlineSteps += o.InlineSteps
+	d.GoroutineSteps += o.GoroutineSteps
+	d.InlineSuspends += o.InlineSuspends
+}
+
 // fleet aggregates dispatch stats across every engine in the process
 // (atomically, so parallel harness workers may fold concurrently);
 // cmd/bench reports it after a sweep.
@@ -234,14 +276,28 @@ func FleetDispatchStats() DispatchStats {
 	}
 }
 
-// Engine schedules contexts and timed events in global cycle order.
-type Engine struct {
-	quantum  Time
+// outItem is a cross-shard event staged in the producing shard's outbox
+// until the coordinator merges it into the destination shard's heap at
+// the window boundary.
+type outItem struct {
+	sh int32 // destination shard
+	it evItem
+}
+
+// shard is one partition of the simulated machine: a group of origins
+// (nodes) with their own clock, heaps, and conch. A serial engine is one
+// shard; a sharded engine runs every shard's window concurrently on its
+// own scheduler goroutine. All shard fields are owned by whichever
+// goroutine holds the shard's conch during a window and by the
+// coordinator between windows (the grant/done channel pair orders the
+// two).
+type shard struct {
+	eng *Engine
+	id  int
+
 	now      Time
-	contexts []*Context
 	runnable ctxHeap
 	events   evHeap
-	evSeq    uint64
 
 	running *Context
 	// inline is the stepper whose activation is currently executing on
@@ -250,18 +306,14 @@ type Engine struct {
 	// hands the scheduler role to a spare (Context.suspend) and stays
 	// behind as the suspended step's host, so the scheduler stack is
 	// never pinned and every other stepper keeps dispatching inline.
-	inline   *Context
-	forceG   bool // dispatch every stepper via its goroutine (validation)
-	backCh   chan struct{}
-	shutdown chan struct{}
-	started  bool
-	finished bool
+	inline *Context
+	backCh chan struct{}
 
 	// Scheduler-role hand-off state (all mutated only with the conch
 	// held). schedGen increments at each hand-off; a scheduler loop that
 	// observes a generation newer than its own has lost the role.
 	// loopIsRoot says whether the acting scheduler is the root goroutine
-	// (the one inside Run); rootWake grants the role back to it.
+	// (the one inside a serial Run); rootWake grants the role back to it.
 	// spareWakes is the pool of parked spare scheduler goroutines.
 	schedGen   uint64
 	loopIsRoot bool
@@ -269,8 +321,83 @@ type Engine struct {
 	spareWakes []chan struct{}
 
 	dstats DispatchStats
+	abort  error // first panic captured from a context on this shard
 
-	abort error // first panic captured from a context
+	// Windowed-execution state. limit is the current window's end (items
+	// at or past it wait for a later window; infTime in serial mode).
+	// outbox stages events destined for other shards. grantCh/doneCh are
+	// the coordinator handshake; granted is coordinator-local bookkeeping
+	// for window grants.
+	limit   Time
+	outbox  []outItem
+	grantCh chan Time
+	doneCh  chan struct{}
+	granted bool
+}
+
+// clock returns the shard's current time: the running context's local
+// clock, or the shard clock when an event (or nothing) is executing.
+func (s *shard) clock() Time {
+	if s.running != nil {
+		return s.running.time
+	}
+	return s.now
+}
+
+// syncRunning materialises the running context's pending LazyYield, for
+// engine entry points that are invoked on a different receiver than the
+// caller (Unpark on a target context, AtEvent on the engine).
+func (s *shard) syncRunning() {
+	if r := s.running; r != nil {
+		r.Sync()
+	}
+}
+
+// nextTime returns the earliest pending item on the shard: the head of
+// the runnable heap or the event heap, whichever is due first.
+func (s *shard) nextTime() Time {
+	t := infTime
+	if s.runnable.len() > 0 {
+		t = s.runnable.a[0].time
+	}
+	if s.events.len() > 0 && s.events.a[0].t < t {
+		t = s.events.a[0].t
+	}
+	return t
+}
+
+// Engine schedules contexts and timed events in global cycle order.
+type Engine struct {
+	quantum  Time
+	window   Time // cross-shard lookahead; windows are [M, M+window)
+	origins  int  // number of event origins (simulated nodes)
+	nshards  int
+	contexts []*Context
+	sh       []*shard
+
+	// Event tie-break state. Events carry a stable key (time, origin,
+	// per-origin sequence): evSeqs[i] counts events scheduled by origin i
+	// (a simulated node), and evSeqAnon counts origin-less events
+	// (AtEvent/At/After — engine tests and other non-node callers, which
+	// sort before every node origin at equal times). The key is a pure
+	// function of each origin's own scheduling history, so the merged
+	// fire order is independent of how origins are partitioned across
+	// shards — unlike a global insertion sequence, which would encode the
+	// interleaving of the whole machine. Under sharding each element is
+	// written only by the shard that owns its origin.
+	evSeqs    []uint64
+	evSeqAnon uint64
+
+	forceG   bool // dispatch every stepper via its goroutine (validation)
+	shutdown chan struct{}
+	started  bool
+	finished bool
+
+	barriers []*Barrier // sharded barriers merged at window boundaries
+
+	dstats DispatchStats // folded across shards when Run finishes
+
+	abort error // first shard abort, folded by shard id
 }
 
 // Option configures an Engine.
@@ -293,47 +420,127 @@ func WithGoroutineDispatch() Option {
 	return func(e *Engine) { e.forceG = true }
 }
 
+// WithShards partitions origins 0..origins-1 across the given number of
+// shards (contiguous ranges, ShardOf) and runs them concurrently in
+// conservative time windows of the given lookahead: window must be a
+// lower bound on the latency of every cross-shard interaction (for the
+// paper's machine, min(network latency, barrier latency) = 11 cycles).
+// One shard keeps fully serial execution and is always valid.
+func WithShards(shards, origins int, window Time) Option {
+	return func(e *Engine) {
+		if shards < 1 {
+			panic("sim: WithShards requires at least one shard")
+		}
+		if shards > 1 {
+			if origins < shards {
+				panic("sim: WithShards requires at least one origin per shard")
+			}
+			if window < 1 {
+				panic("sim: WithShards requires a positive lookahead window")
+			}
+		}
+		e.nshards, e.origins, e.window = shards, origins, window
+	}
+}
+
 // NewEngine returns an empty engine.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		quantum: DefaultQuantum,
-		// Single-slot resume protocol: the conch trade is a pair of
-		// capacity-1 channels, so neither side's send ever blocks (at
-		// most one token is in flight in each direction) and a dispatch
-		// costs one blocking receive per side instead of two rendezvous.
-		backCh:   make(chan struct{}, 1),
+		quantum:  DefaultQuantum,
+		nshards:  1,
 		shutdown: make(chan struct{}),
-		rootWake: make(chan struct{}, 1),
 	}
-	e.runnable.a = make([]*Context, 0, 64)
-	e.events.a = make([]evItem, 0, 256)
 	for _, o := range opts {
 		o(e)
+	}
+	if e.origins > 0 {
+		e.evSeqs = make([]uint64, e.origins)
+	}
+	e.sh = make([]*shard, e.nshards)
+	for i := range e.sh {
+		s := &shard{
+			eng: e,
+			id:  i,
+			// Single-slot resume protocol: the conch trade is a pair of
+			// capacity-1 channels, so neither side's send ever blocks (at
+			// most one token is in flight in each direction) and a
+			// dispatch costs one blocking receive per side instead of two
+			// rendezvous.
+			backCh:   make(chan struct{}, 1),
+			rootWake: make(chan struct{}, 1),
+			grantCh:  make(chan Time, 1),
+			doneCh:   make(chan struct{}, 1),
+			limit:    infTime,
+		}
+		s.runnable.a = make([]*Context, 0, 64)
+		s.events.a = make([]evItem, 0, 256)
+		e.sh[i] = s
 	}
 	return e
 }
 
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return len(e.sh) }
+
+// ShardOf returns the shard that owns origin (a simulated node):
+// contiguous ranges, so a node's processor and network interface — and
+// every origin a machine keeps node-local state for — land together.
+func (e *Engine) ShardOf(origin int) int {
+	if len(e.sh) == 1 {
+		return 0
+	}
+	if origin < 0 || origin >= e.origins {
+		panic(fmt.Sprintf("sim: origin %d out of range [0,%d)", origin, e.origins))
+	}
+	return origin * len(e.sh) / e.origins
+}
+
 // Now returns the global clock: the local time of the entity (context or
 // event) that is currently executing, including any cycles the running
-// context has accumulated since it was dispatched.
+// context has accumulated since it was dispatched. A sharded engine has
+// no single clock — use NowFor with the acting origin instead.
 func (e *Engine) Now() Time {
-	if e.running != nil {
-		return e.running.time
+	if len(e.sh) > 1 {
+		panic("sim: Now is ambiguous under sharded execution; use NowFor(origin)")
 	}
-	return e.now
+	return e.sh[0].clock()
+}
+
+// NowFor returns the clock of the shard that owns origin: the local time
+// of that shard's running context or firing event. Callers must be
+// executing on origin's shard (node-local code always is).
+func (e *Engine) NowFor(origin int) Time {
+	return e.sh[e.ShardOf(origin)].clock()
 }
 
 // Quantum returns the engine's run-ahead quantum.
 func (e *Engine) Quantum() Time { return e.quantum }
 
-// DispatchStats returns the engine's dispatch counters so far.
-func (e *Engine) DispatchStats() DispatchStats { return e.dstats }
+// DispatchStats returns the engine's dispatch counters so far, summed
+// across shards.
+func (e *Engine) DispatchStats() DispatchStats {
+	if e.finished {
+		return e.dstats
+	}
+	var d DispatchStats
+	for _, s := range e.sh {
+		d.add(s.dstats)
+	}
+	return d
+}
 
-// Spawn creates a context that must finish before Run can succeed.
-// Spawning is allowed both before Run and from inside a running context or
-// event; the new context starts at the current global time.
+// Spawn creates a context on shard 0 that must finish before Run can
+// succeed. Spawning is allowed both before Run and from inside a running
+// context or event; the new context starts at the current shard time.
 func (e *Engine) Spawn(name string, body func(*Context)) *Context {
-	c := e.spawn(name, false)
+	return e.SpawnOn(0, name, body)
+}
+
+// SpawnOn is Spawn for the shard that owns node: the context is the
+// instruction stream of that simulated node, scheduled and clocked with
+// the rest of its shard.
+func (e *Engine) SpawnOn(node int, name string, body func(*Context)) *Context {
+	c := e.spawn(name, false, e.sh[e.ShardOf(node)])
 	c.body = body
 	c.gStarted = true
 	go c.run()
@@ -349,20 +556,20 @@ func (e *Engine) Spawn(name string, body func(*Context)) *Context {
 // granting the retried access first, which is what guarantees forward
 // progress in the simulated protocols.
 func (e *Engine) SpawnDaemon(name string, body func(*Context)) *Context {
-	c := e.spawn(name, true)
+	c := e.spawn(name, true, e.sh[0])
 	c.body = body
 	c.gStarted = true
 	go c.run()
 	return c
 }
 
-// SpawnStepper creates a stepper context: step is invoked inline by the
-// scheduler, runs to completion, and returns false to idle the context
-// under the given park reason until the next Unpark. The standby
-// goroutine is created lazily, only if a step ever suspends while it
-// cannot be hosted inline.
+// SpawnStepper creates a stepper context on shard 0: step is invoked
+// inline by the scheduler, runs to completion, and returns false to idle
+// the context under the given park reason until the next Unpark. The
+// standby goroutine is created lazily, only if a step ever suspends while
+// it cannot be hosted inline.
 func (e *Engine) SpawnStepper(name string, step Step, idleReason string) *Context {
-	c := e.spawn(name, false)
+	c := e.spawn(name, false, e.sh[0])
 	c.step = step
 	c.idleReason = idleReason
 	return c
@@ -371,30 +578,39 @@ func (e *Engine) SpawnStepper(name string, step Step, idleReason string) *Contex
 // SpawnStepperDaemon is SpawnStepper for a daemon context (the NP
 // dispatch loop: torn down at quiescence, loses scheduling ties).
 func (e *Engine) SpawnStepperDaemon(name string, step Step, idleReason string) *Context {
-	c := e.spawn(name, true)
+	return e.SpawnStepperDaemonOn(0, name, step, idleReason)
+}
+
+// SpawnStepperDaemonOn is SpawnStepperDaemon on the shard that owns node.
+func (e *Engine) SpawnStepperDaemonOn(node int, name string, step Step, idleReason string) *Context {
+	c := e.spawn(name, true, e.sh[e.ShardOf(node)])
 	c.step = step
 	c.idleReason = idleReason
 	return c
 }
 
-func (e *Engine) spawn(name string, daemon bool) *Context {
+func (e *Engine) spawn(name string, daemon bool, sh *shard) *Context {
+	if e.started && len(e.sh) > 1 {
+		panic("sim: cannot spawn during a sharded run")
+	}
 	var prio uint8
 	if daemon {
 		prio = 1
 	}
 	c := &Context{
 		eng:       e,
+		sh:        sh,
 		id:        len(e.contexts),
 		name:      name,
-		time:      e.now,
-		lastYield: e.now,
+		time:      sh.now,
+		lastYield: sh.now,
 		state:     StateRunnable,
 		daemon:    daemon,
 		prio:      prio,
 		resumeCh:  make(chan struct{}, 1),
 	}
 	e.contexts = append(e.contexts, c)
-	e.runnable.push(c)
+	sh.runnable.push(c)
 	return c
 }
 
@@ -416,24 +632,24 @@ func (c *Context) stepperRun() {
 		c.await()
 		c.onDispatched()
 		c.runSteps()
-		c.eng.backCh <- struct{}{}
+		c.sh.backCh <- struct{}{}
 	}
 }
 
 // goroutineExit is the shared teardown of a context goroutine: engine
-// shutdown unwinds silently, a body panic is captured as the engine's
+// shutdown unwinds silently, a body panic is captured as the shard's
 // abort error, and a finished body hands the conch back.
 func (c *Context) goroutineExit() {
 	if r := recover(); r != nil {
 		if _, ok := r.(shutdownSignal); ok {
 			return // engine teardown; nobody is waiting on backCh
 		}
-		c.eng.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+		c.sh.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
 	}
 	c.state = StateDone
 	// Hand the conch back to the engine, unless the engine is gone.
 	select {
-	case c.eng.backCh <- struct{}{}:
+	case c.sh.backCh <- struct{}{}:
 	case <-c.eng.shutdown:
 	}
 }
@@ -459,10 +675,10 @@ func (c *Context) runSteps() {
 		// Re-evaluated each step: a mid-step suspension hands the
 		// scheduler role away, after which this goroutine is a plain
 		// host and later steps of the activation are goroutine steps.
-		if c.eng.inline == c {
-			c.eng.dstats.InlineSteps++
+		if c.sh.inline == c {
+			c.sh.dstats.InlineSteps++
 		} else {
-			c.eng.dstats.GoroutineSteps++
+			c.sh.dstats.GoroutineSteps++
 		}
 		ok := c.step(c)
 		if c.lazyYield || c.lazyQuantum {
@@ -475,7 +691,7 @@ func (c *Context) runSteps() {
 			c.needG = false
 			c.rootHosted = false
 			c.state = StateRunnable
-			c.eng.runnable.push(c)
+			c.sh.runnable.push(c)
 			return
 		}
 		if ok {
@@ -489,15 +705,15 @@ func (c *Context) runSteps() {
 			c.needG = false
 			c.rootHosted = false
 			c.state = StateRunnable
-			c.eng.runnable.push(c)
+			c.sh.runnable.push(c)
 			return
 		}
 		c.parkReason = c.idleReason
 		c.state = StateParked
 		c.needG = false
 		c.rootHosted = false
-		if c.eng.inline == c {
-			c.eng.dstats.ParksAvoided++
+		if c.sh.inline == c {
+			c.sh.dstats.ParksAvoided++
 		}
 		return
 	}
@@ -548,7 +764,7 @@ func (c *Context) SyncTo(t Time) {
 func (c *Context) Yield() {
 	c.checkRunning("Yield")
 	c.state = StateRunnable
-	c.eng.runnable.push(c)
+	c.sh.runnable.push(c)
 	c.suspend()
 }
 
@@ -560,24 +776,24 @@ func (c *Context) Yield() {
 // scheduler (the activation was hosted inline), it first hands the
 // scheduler role to a spare goroutine — bumping schedGen retires the
 // scheduler frames below us once the activation completes — and stays
-// behind as the suspended step's host. Nothing may touch engine state
+// behind as the suspended step's host. Nothing may touch shard state
 // between wakeScheduler and the await: the conch transfers with the wake.
 func (c *Context) suspend() {
-	e := c.eng
+	s := c.sh
 	if c.step != nil {
 		c.needG = true
 	}
-	if e.inline == c {
-		e.dstats.InlineSuspends++
-		e.inline = nil
-		c.rootHosted = e.loopIsRoot
-		e.schedGen++
-		e.wakeScheduler()
+	if s.inline == c {
+		s.dstats.InlineSuspends++
+		s.inline = nil
+		c.rootHosted = s.loopIsRoot
+		s.schedGen++
+		s.wakeScheduler()
 		c.hostAwait()
 		c.onDispatched()
 		return
 	}
-	e.backCh <- struct{}{}
+	s.backCh <- struct{}{}
 	c.hostAwait()
 	c.onDispatched()
 }
@@ -594,7 +810,7 @@ func (c *Context) hostAwait() {
 	}
 	select {
 	case <-c.resumeCh:
-	case <-c.eng.rootWake:
+	case <-c.sh.rootWake:
 		panic(schedUnwind{})
 	case <-c.eng.shutdown:
 		panic(shutdownSignal{})
@@ -640,15 +856,6 @@ func (c *Context) Sync() {
 	}
 }
 
-// syncRunning materialises the running context's pending LazyYield, for
-// engine entry points that are invoked on a different receiver than the
-// caller (Unpark on a target context, AtEvent on the engine).
-func (e *Engine) syncRunning() {
-	if r := e.running; r != nil {
-		r.Sync()
-	}
-}
-
 // BeginNoBlock opens a MustNotBlock section: until the matching
 // EndNoBlock, a Park on this context panics. Dispatchers wrap
 // run-to-completion handlers (message, fault, bulk-chunk bodies; the
@@ -687,9 +894,12 @@ func (c *Context) Park(reason string) {
 // Unpark makes a parked context runnable no earlier than simulated time
 // at. Calling Unpark on a context that is not parked records a pending
 // wakeup that its next Park consumes. Unpark must be called while holding
-// the conch (i.e. from a running context or an event callback).
+// the conch of the target's shard — i.e. from a running context or event
+// on the same shard (simulated interactions are node-local; cross-shard
+// wakeups travel as timed events or through a Barrier), or from the
+// coordinator between windows.
 func (c *Context) Unpark(at Time) {
-	c.eng.syncRunning()
+	c.sh.syncRunning()
 	switch c.state {
 	case StateParked:
 		if at > c.time {
@@ -697,7 +907,7 @@ func (c *Context) Unpark(at Time) {
 		}
 		c.parkReason = ""
 		c.state = StateRunnable
-		c.eng.runnable.push(c)
+		c.sh.runnable.push(c)
 	case StateDone:
 		// Late wakeup for a finished context; ignore.
 	default:
@@ -711,37 +921,92 @@ func (c *Context) Unpark(at Time) {
 func (c *Context) onDispatched() {
 	c.state = StateRunning
 	c.lastYield = c.time
-	c.eng.running = c
-	c.eng.now = c.time
+	c.sh.running = c
+	c.sh.now = c.time
 }
 
 func (c *Context) checkRunning(op string) {
-	if c.eng.running != c {
+	if c.sh.running != c {
 		panic(fmt.Sprintf("sim: %s called on context %q which is not running (state %v)", op, c.name, c.state))
 	}
 }
 
 // AtEvent schedules ev to fire at absolute simulated time t. Events run
 // on the scheduler, may not block, and execute before any context whose
-// clock is later than t. Events at equal times fire in scheduling order.
+// clock is later than t. Equal-time events fire in a deterministic
+// order: origin-less events (this method) in scheduling order, before
+// any origin-keyed event (AtEventFrom) at the same time. Origin-less
+// events live on shard 0 and require a serial engine.
 func (e *Engine) AtEvent(t Time, ev Event) {
-	e.syncRunning()
-	if now := e.Now(); t < now {
+	if len(e.sh) > 1 {
+		panic("sim: origin-less events require a serial engine; use AtEventFrom")
+	}
+	s := e.sh[0]
+	s.syncRunning()
+	if now := s.clock(); t < now {
 		t = now
 	}
-	e.evSeq++
-	e.events.push(evItem{t: t, seq: e.evSeq, ev: ev})
+	e.evSeqAnon++
+	s.events.push(evItem{t: t, key: packedKey(-1, e.evSeqAnon), ev: ev})
+}
+
+// AtEventFrom schedules ev to fire at absolute simulated time t on behalf
+// of origin (a simulated node), on origin's own shard. Equal-time events
+// order by the stable key (origin, per-origin sequence) — a function of
+// the origin's own scheduling history only, which is what makes sharded
+// execution meet the serial fire order exactly. The caller must be
+// executing on origin's shard.
+func (e *Engine) AtEventFrom(t Time, origin int, ev Event) {
+	e.AtEventFromTo(t, origin, origin, ev)
+}
+
+// AtEventFromTo is AtEventFrom with the event fired on the shard that
+// owns dest (the node whose state ev mutates): a cross-shard event is
+// staged in the origin shard's outbox and merged into dest's heap at the
+// next window boundary. t must be at least one full lookahead window in
+// the future whenever dest lives on another shard — true by construction
+// for network packets, whose latency bounds the window from above.
+func (e *Engine) AtEventFromTo(t Time, origin, dest int, ev Event) {
+	s := e.sh[e.ShardOf(origin)]
+	s.syncRunning()
+	if now := s.clock(); t < now {
+		t = now
+	}
+	if origin >= len(e.evSeqs) {
+		// Serial engines without WithShards size the table on demand;
+		// sharded engines pre-size it (ShardOf bounds origin).
+		e.evSeqs = append(e.evSeqs, make([]uint64, origin+1-len(e.evSeqs))...)
+	}
+	e.evSeqs[origin]++
+	it := evItem{t: t, key: packedKey(origin, e.evSeqs[origin]), ev: ev}
+	if ds := e.ShardOf(dest); ds != s.id {
+		s.outbox = append(s.outbox, outItem{sh: int32(ds), it: it})
+	} else {
+		s.events.push(it)
+	}
 }
 
 // AfterEvent schedules ev to fire delta cycles after the current global
 // time.
 func (e *Engine) AfterEvent(delta Time, ev Event) { e.AtEvent(e.Now()+delta, ev) }
 
+// AfterEventFrom schedules ev delta cycles after origin's current shard
+// time, on origin's shard.
+func (e *Engine) AfterEventFrom(delta Time, origin int, ev Event) {
+	e.AtEventFrom(e.NowFor(origin)+delta, origin, ev)
+}
+
 // At schedules fn to run at absolute simulated time t.
 func (e *Engine) At(t Time, fn func()) { e.AtEvent(t, funcEvent(fn)) }
 
 // After schedules fn delta cycles after the current global time.
 func (e *Engine) After(delta Time, fn func()) { e.AtEvent(e.Now()+delta, funcEvent(fn)) }
+
+// AfterFrom schedules fn delta cycles after origin's current shard time,
+// on origin's shard.
+func (e *Engine) AfterFrom(delta Time, origin int, fn func()) {
+	e.AtEventFrom(e.NowFor(origin)+delta, origin, funcEvent(fn))
+}
 
 // dispatch hands the conch to c. A stepper at a boundary runs inline on
 // the acting scheduler goroutine; everything else (goroutine bodies,
@@ -751,116 +1016,143 @@ func (e *Engine) After(delta Time, fn func()) { e.AtEvent(e.Now()+delta, funcEve
 // scheduler goroutine that stayed behind at the mid-step hand-off — so
 // the standby is spawned only for a boundary dispatch forced through the
 // channel protocol (WithGoroutineDispatch).
-func (e *Engine) dispatch(c *Context) {
-	if c.step != nil && !c.needG && !e.forceG {
-		e.dstats.InlineDispatches++
-		e.dispatchInline(c)
-		e.running = nil
+func (s *shard) dispatch(c *Context) {
+	if c.step != nil && !c.needG && !s.eng.forceG {
+		s.dstats.InlineDispatches++
+		s.dispatchInline(c)
+		s.running = nil
 		return
 	}
-	e.dstats.GoroutineSwitches++
+	s.dstats.GoroutineSwitches++
 	if c.step != nil {
-		e.dstats.StepperFallbacks++
+		s.dstats.StepperFallbacks++
 		if !c.gStarted && !c.needG {
 			c.gStarted = true
 			go c.stepperRun()
 		}
 	}
 	c.resumeCh <- struct{}{}
-	<-e.backCh
-	e.running = nil
+	<-s.backCh
+	s.running = nil
 }
 
 // dispatchInline runs one stepper activation on the acting scheduler
-// goroutine. A panic in a step body becomes the engine's abort error,
+// goroutine. A panic in a step body becomes the shard's abort error,
 // exactly as a goroutine body's panic would; schedUnwind and
 // shutdownSignal keep unwinding through the host's frames.
-func (e *Engine) dispatchInline(c *Context) {
+func (s *shard) dispatchInline(c *Context) {
 	defer func() {
-		e.inline = nil
+		s.inline = nil
 		if r := recover(); r != nil {
 			switch r.(type) {
 			case schedUnwind, shutdownSignal:
 				panic(r)
 			}
-			e.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+			s.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
 			c.state = StateDone
 		}
 	}()
 	c.onDispatched()
-	e.inline = c
+	s.inline = c
 	c.runSteps()
 }
 
 // scheduleLoop is the scheduler: fire due events, dispatch runnable
-// contexts in (time, prio, id) order. It returns true when the machine
-// aborts or goes quiescent, with the conch routed back to the root
-// goroutine. It returns false when this goroutine loses the scheduler
+// contexts in (time, prio, id) order, both bounded by the shard's window
+// limit (infTime when serial). It returns true when the machine aborts,
+// goes quiescent (serial), or the run ends at a window boundary
+// (sharded). It returns false when this goroutine loses the scheduler
 // role: a stepper it hosted inline suspended mid-step and handed the
 // role to a spare (Context.suspend); once the suspended activation
 // completes back on this goroutine, the stale loop observes the newer
 // schedGen, hands the conch to the acting scheduler, and retires.
 //
 // park is the goroutine's spare-pool registration channel, nil for the
-// root goroutine (which re-acquires the role via rootWake instead). It
-// is re-registered before the conch is released, so the pool is only
-// ever mutated conch-held.
-func (e *Engine) scheduleLoop(park chan struct{}) (done bool) {
-	e.loopIsRoot = park == nil
-	gen := e.schedGen
+// serial root goroutine (which re-acquires the role via rootWake
+// instead). It is re-registered before the conch is released, so the
+// pool is only ever mutated conch-held.
+func (s *shard) scheduleLoop(park chan struct{}) (done bool) {
+	s.loopIsRoot = park == nil
+	gen := s.schedGen
 	for {
-		if e.abort != nil {
+		if s.abort != nil {
+			// Serial: the run is over. Sharded: report the abort at the
+			// boundary and idle until the coordinator stops the run.
+			if s.limit != infTime && s.windowBoundary() {
+				continue
+			}
 			break
 		}
 		// Run every event that is due before (or at) the next context.
-		nextCtx := Time(^uint64(0))
-		if e.runnable.len() > 0 {
-			nextCtx = e.runnable.a[0].time
+		nextCtx := infTime
+		if s.runnable.len() > 0 {
+			nextCtx = s.runnable.a[0].time
 		}
-		if e.events.len() > 0 && e.events.a[0].t <= nextCtx {
-			ev := e.events.pop()
-			if ev.t > e.now {
-				e.now = ev.t
+		if s.events.len() > 0 && s.events.a[0].t <= nextCtx && s.events.a[0].t < s.limit {
+			ev := s.events.pop()
+			if ev.t > s.now {
+				s.now = ev.t
 			}
-			e.running = nil
+			s.running = nil
 			ev.ev.Fire()
 			continue
 		}
-		if e.runnable.len() == 0 {
-			break // quiescent
+		if nextCtx >= s.limit {
+			// Nothing left inside the bound: the window is exhausted
+			// (sharded — trade it for the next one) or the shard is
+			// quiescent (serial, limit == infTime).
+			if s.limit != infTime && s.windowBoundary() {
+				continue
+			}
+			break
 		}
-		e.dispatch(e.runnable.pop())
-		if e.schedGen != gen {
+		s.dispatch(s.runnable.pop())
+		if s.schedGen != gen {
 			// The role moved on while this goroutine hosted a suspended
 			// step; the activation has completed, so hand the conch to
 			// the acting scheduler and retire this loop frame.
 			if park != nil {
-				e.spareWakes = append(e.spareWakes, park)
+				s.spareWakes = append(s.spareWakes, park)
 			}
-			e.backCh <- struct{}{}
+			s.backCh <- struct{}{}
 			return false
 		}
 	}
-	if park != nil {
-		// A spare observed the end of the run: hand the scheduler role
-		// (and the conch) back to the root goroutine, which finishes Run.
-		e.spareWakes = append(e.spareWakes, park)
-		e.rootWake <- struct{}{}
+	if park != nil && s.limit == infTime {
+		// A spare observed the end of a serial run: hand the scheduler
+		// role (and the conch) back to the root goroutine, which
+		// finishes Run. Sharded shards end at a window boundary instead
+		// (the coordinator holds every conch between windows).
+		s.spareWakes = append(s.spareWakes, park)
+		s.rootWake <- struct{}{}
 	}
+	return true
+}
+
+// windowBoundary hands the shard's conch to the coordinator (the window
+// is exhausted) and blocks until the next window grant. It returns false
+// when the coordinator ends the run instead of granting another window.
+func (s *shard) windowBoundary() bool {
+	s.doneCh <- struct{}{}
+	limit, ok := <-s.grantCh
+	if !ok {
+		return false
+	}
+	s.limit = limit
 	return true
 }
 
 // wakeScheduler hands the scheduler role to a spare goroutine, starting
 // one if the pool is empty. Called conch-held by a goroutine about to
 // become a suspended stepper's host; the conch transfers with the wake.
-func (e *Engine) wakeScheduler() {
-	if n := len(e.spareWakes); n > 0 {
-		ch := e.spareWakes[n-1]
-		e.spareWakes = e.spareWakes[:n-1]
+func (s *shard) wakeScheduler() {
+	if n := len(s.spareWakes); n > 0 {
+		ch := s.spareWakes[n-1]
+		s.spareWakes = s.spareWakes[:n-1]
 		ch <- struct{}{}
 		return
 	}
-	go e.spareScheduler()
+	go s.spareScheduler()
 }
 
 // spareScheduler hosts the scheduler loop whenever the role is handed
@@ -868,7 +1160,7 @@ func (e *Engine) wakeScheduler() {
 // shutdown releases it. A shutdownSignal unwinding out of a hosted
 // step's frames (the run finished while the step was still suspended)
 // retires it too.
-func (e *Engine) spareScheduler() {
+func (s *shard) spareScheduler() {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(shutdownSignal); !ok {
@@ -878,10 +1170,39 @@ func (e *Engine) spareScheduler() {
 	}()
 	wake := make(chan struct{}, 1)
 	for {
-		e.scheduleLoop(wake) // registers wake in the pool before releasing the conch
+		s.scheduleLoop(wake) // registers wake in the pool before releasing the conch
 		select {
 		case <-wake:
-		case <-e.shutdown:
+		case <-s.eng.shutdown:
+			return
+		}
+	}
+}
+
+// shardScheduler is a shard's initial scheduler goroutine under sharded
+// execution: it waits for the first window grant, then schedules exactly
+// like a spare — if it loses the role to a mid-step suspension it parks
+// in the pool, and whichever goroutine holds the role trades windows
+// with the coordinator at each boundary.
+func (s *shard) shardScheduler() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(shutdownSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	limit, ok := <-s.grantCh
+	if !ok {
+		return
+	}
+	s.limit = limit
+	wake := make(chan struct{}, 1)
+	for {
+		s.scheduleLoop(wake)
+		select {
+		case <-wake:
+		case <-s.eng.shutdown:
 			return
 		}
 	}
@@ -899,15 +1220,54 @@ func (e *Engine) Run() error {
 	defer func() {
 		e.finished = true
 		close(e.shutdown) // release daemon goroutines
-		fleet.inline.Add(e.dstats.InlineDispatches)
-		fleet.switches.Add(e.dstats.GoroutineSwitches)
-		fleet.fallbacks.Add(e.dstats.StepperFallbacks)
-		fleet.parks.Add(e.dstats.ParksAvoided)
-		fleet.steps.Add(e.dstats.InlineSteps)
-		fleet.gsteps.Add(e.dstats.GoroutineSteps)
-		fleet.suspends.Add(e.dstats.InlineSuspends)
+		var d DispatchStats
+		for _, s := range e.sh {
+			d.add(s.dstats)
+		}
+		e.dstats = d
+		fleet.inline.Add(d.InlineDispatches)
+		fleet.switches.Add(d.GoroutineSwitches)
+		fleet.fallbacks.Add(d.StepperFallbacks)
+		fleet.parks.Add(d.ParksAvoided)
+		fleet.steps.Add(d.InlineSteps)
+		fleet.gsteps.Add(d.GoroutineSteps)
+		fleet.suspends.Add(d.InlineSuspends)
 	}()
 
+	if len(e.sh) == 1 {
+		e.runSerial()
+	} else {
+		e.runSharded()
+	}
+
+	if e.abort != nil {
+		return e.abort
+	}
+	var waiting []string
+	var now Time
+	for _, s := range e.sh {
+		if s.now > now {
+			now = s.now
+		}
+	}
+	for _, c := range e.contexts {
+		if c.daemon || c.state == StateDone {
+			continue
+		}
+		waiting = append(waiting, fmt.Sprintf("%s@%d(%s: %s)", c.name, c.time, c.state, c.parkReason))
+	}
+	if len(waiting) > 0 {
+		sort.Strings(waiting)
+		return fmt.Errorf("sim: deadlock at cycle %d; blocked contexts: %s", now, strings.Join(waiting, ", "))
+	}
+	return nil
+}
+
+// runSerial hosts shard 0's scheduler on the calling (root) goroutine,
+// re-acquiring the role whenever a spare finishes the run while the root
+// stack hosts a suspended step.
+func (e *Engine) runSerial() {
+	s := e.sh[0]
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -917,7 +1277,7 @@ func (e *Engine) Run() error {
 			}
 		}()
 		for {
-			if e.scheduleLoop(nil) {
+			if s.scheduleLoop(nil) {
 				return
 			}
 			// The root goroutine lost the scheduler role to a spare while
@@ -925,25 +1285,76 @@ func (e *Engine) Run() error {
 			// conch moved on. Wait for the role grant at the end of the
 			// run (or, if another hosted step pins this stack first, the
 			// grant arrives at rootHostAwait and unwinds to here).
-			<-e.rootWake
+			<-s.rootWake
 		}
 	}()
+	e.abort = s.abort
+}
 
-	if e.abort != nil {
-		return e.abort
+// runSharded is the window coordinator: it grants every shard with work
+// the window [M, M+W), waits for all of them to exhaust it, merges
+// cross-shard events and barrier arrivals at the boundary, and repeats
+// until the machine is quiescent or aborts. The grant/done channel pair
+// is the only cross-goroutine synchronisation — it carries the shard's
+// conch, so between windows the coordinator owns every shard's state.
+func (e *Engine) runSharded() {
+	for _, s := range e.sh {
+		go s.shardScheduler()
 	}
-	var waiting []string
-	for _, c := range e.contexts {
-		if c.daemon || c.state == StateDone {
-			continue
+	for e.abort == nil {
+		m := infTime
+		for _, s := range e.sh {
+			if t := s.nextTime(); t < m {
+				m = t
+			}
 		}
-		waiting = append(waiting, fmt.Sprintf("%s@%d(%s: %s)", c.name, c.time, c.state, c.parkReason))
+		if m == infTime {
+			break // quiescent (or deadlocked) machine-wide
+		}
+		limit := m + e.window
+		for _, s := range e.sh {
+			// Idle shards (nothing before the window's end) keep their
+			// conch with the coordinator: granting them would only bounce
+			// an empty window over the channels.
+			if s.granted = s.nextTime() < limit; s.granted {
+				s.grantCh <- limit
+			}
+		}
+		for _, s := range e.sh {
+			if s.granted {
+				<-s.doneCh
+			}
+		}
+		e.mergeBoundary()
 	}
-	if len(waiting) > 0 {
-		sort.Strings(waiting)
-		return fmt.Errorf("sim: deadlock at cycle %d; blocked contexts: %s", e.now, strings.Join(waiting, ", "))
+	for _, s := range e.sh {
+		close(s.grantCh)
 	}
-	return nil
+}
+
+// mergeBoundary integrates one window's cross-shard effects while every
+// shard's conch is parked with the coordinator: outbox events are pushed
+// into their destination heaps (the stable event key already fixes the
+// fire order, so insertion order is immaterial), completed barriers
+// release their waiters, and shard aborts fold — by shard id, so the
+// reported error is deterministic — into the engine abort.
+func (e *Engine) mergeBoundary() {
+	for _, s := range e.sh {
+		for i, o := range s.outbox {
+			e.sh[o.sh].events.push(o.it)
+			s.outbox[i] = outItem{} // drop the Event reference
+		}
+		s.outbox = s.outbox[:0]
+		if s.abort != nil && e.abort == nil {
+			e.abort = s.abort
+		}
+	}
+	if e.abort != nil {
+		return
+	}
+	for _, b := range e.barriers {
+		b.mergeStaged()
+	}
 }
 
 // The heaps below are index-based 4-ary min-heaps (children of i are
@@ -954,19 +1365,34 @@ func (e *Engine) Run() error {
 // scheduling. Both orderings are strict total orders, so pop order is
 // the unique sorted order and independent of arity.
 
-// evItem is a scheduled occurrence, ordered by (t, seq); seq is unique,
-// so equal-time events fire in scheduling order.
+// evItem is a scheduled occurrence, ordered by the stable key
+// (t, origin, per-origin seq); seq is unique per origin, so the key is a
+// strict total order that does not depend on the interleaving of
+// origins. The (origin, seq) pair is packed into one word — origin+1 in
+// the top bits so origin-less events (packedKey's origin -1) sort before
+// every node origin, seq below — keeping the item at 32 bytes and the
+// comparison at two branches.
 type evItem struct {
 	t   Time
-	seq uint64
+	key uint64
 	ev  Event
+}
+
+// evSeqBits is the per-origin sequence field width: 2^40 events per
+// origin per run is beyond any simulation this engine will host.
+const evSeqBits = 40
+
+// packedKey builds an evItem tie-break key from an origin (-1 for
+// origin-less events) and its per-origin sequence number.
+func packedKey(origin int, seq uint64) uint64 {
+	return uint64(origin+1)<<evSeqBits | seq
 }
 
 func evLess(a, b evItem) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
-	return a.seq < b.seq
+	return a.key < b.key
 }
 
 type evHeap struct{ a []evItem }

@@ -40,15 +40,15 @@ func (st *Protocol) handleCheckIn(np *typhoon.NP, pkt *network.Packet) {
 	case mem.TagReadWrite:
 		data := np.ForceReadBlockScratch(va)
 		np.Invalidate(va)
-		st.hot.checkins++
-		st.hot.wbDirtyBlocks++
+		st.per[np.Node()].hot.checkins++
+		st.per[np.Node()].hot.wbDirtyBlocks++
 		ns.wbOutstanding[va] = true
 		np.Charge(4)
 		np.SendRequest(home, HWbDirty, []uint64{uint64(va)}, data)
 	case mem.TagReadOnly:
 		np.Invalidate(va)
-		st.hot.checkins++
-		st.hot.wbCleanBlocks++
+		st.per[np.Node()].hot.checkins++
+		st.per[np.Node()].hot.wbCleanBlocks++
 		ns.wbOutstanding[va] = true
 		bi := int(va.PageOffset()) / st.bs
 		masks := make([]uint64, bi/64+1)

@@ -46,7 +46,7 @@ func (st *Protocol) remoteBlockFault(np *typhoon.NP, f typhoon.Fault) {
 		panic(fmt.Sprintf("stache: node %d fault on %#x with fault already pending on %#x",
 			np.Node(), f.VA, ns.pendingVA))
 	}
-	st.hot.remoteFaults++
+	st.per[np.Node()].hot.remoteFaults++
 	va := st.BlockBase(f.VA)
 	home := np.FrameOf(f.VA).Home
 
@@ -144,7 +144,7 @@ func (st *Protocol) handleNack(np *typhoon.NP, pkt *network.Packet) {
 	if !ns.pendingValid || ns.pendingVA != va {
 		if ns.prefetching[va] {
 			// Retry the outstanding prefetch.
-			st.hot.nacks++
+			st.per[np.Node()].hot.nacks++
 			np.Charge(costNackExtra)
 			np.SendRequest(np.FrameOf(va).Home, HGetS, []uint64{uint64(va)}, nil)
 			return
@@ -152,7 +152,7 @@ func (st *Protocol) handleNack(np *typhoon.NP, pkt *network.Packet) {
 		np.Charge(1)
 		return // stale: the fault completed through another path
 	}
-	st.hot.nacks++
+	st.per[np.Node()].hot.nacks++
 	kind := HGetS
 	if ns.pendingWrite {
 		if ns.pendingUpgrade {
@@ -225,12 +225,12 @@ func (st *Protocol) handleInval(np *typhoon.NP, pkt *network.Packet) {
 func (st *Protocol) handleGetS(np *typhoon.NP, pkt *network.Packet) {
 	va := mem.VA(pkt.Args[0])
 	r := pkt.Src
-	st.hot.getS++
+	st.per[np.Node()].hot.getS++
 	d, _, synth := st.dirAt(np, va)
 	if st.migratory && d.migratory && d.state != dirBusy {
 		// The block migrates: grant the reader an exclusive copy so its
 		// expected write needs no second round trip.
-		st.hot.migratoryGrants++
+		st.per[np.Node()].hot.migratoryGrants++
 		switch d.state {
 		case dirIdle:
 			st.grantExclusive(np, va, d, synth, r, false)
@@ -247,7 +247,7 @@ func (st *Protocol) handleGetS(np *typhoon.NP, pkt *network.Packet) {
 				d.waiting.clear()
 				for _, s := range d.sharers.members() {
 					d.waiting.add(s, st.nodes())
-					st.hot.invalsSent++
+					st.per[np.Node()].hot.invalsSent++
 					np.Charge(2)
 					np.SendRequest(s, HInval, []uint64{uint64(va), invalKill}, nil)
 				}
@@ -285,14 +285,14 @@ func (st *Protocol) handleGetS(np *typhoon.NP, pkt *network.Packet) {
 
 // handleGetX serves a write request at the home.
 func (st *Protocol) handleGetX(np *typhoon.NP, pkt *network.Packet) {
-	st.hot.getX++
+	st.per[np.Node()].hot.getX++
 	st.serveExclusive(np, pkt, false)
 }
 
 // handleUpgrade serves an upgrade request: the requester holds (or held)
 // a read-only copy and wants ownership.
 func (st *Protocol) handleUpgrade(np *typhoon.NP, pkt *network.Packet) {
-	st.hot.upgrades++
+	st.per[np.Node()].hot.upgrades++
 	st.serveExclusive(np, pkt, true)
 }
 
@@ -324,7 +324,7 @@ func (st *Protocol) serveExclusive(np *typhoon.NP, pkt *network.Packet, upgrade 
 		d.waiting.clear()
 		for _, s := range d.sharers.members() {
 			d.waiting.add(s, st.nodes())
-			st.hot.invalsSent++
+			st.per[np.Node()].hot.invalsSent++
 			np.Charge(2)
 			np.SendRequest(s, HInval, []uint64{uint64(va), invalKill}, nil)
 		}
@@ -357,14 +357,14 @@ func (st *Protocol) grantExclusive(np *typhoon.NP, va mem.VA, d *blockDir, synth
 		np.SendReply(r, HUpgAck, []uint64{uint64(va)}, nil)
 		return
 	}
-	st.hot.dataReplies++
+	st.per[np.Node()].hot.dataReplies++
 	np.SendReply(r, HDataRW, []uint64{uint64(va)}, data)
 }
 
 // replyData sends the home's current copy of va's block.
 func (st *Protocol) replyData(np *typhoon.NP, r int, va mem.VA, handler uint32) {
 	data := np.ForceReadBlockScratch(va)
-	st.hot.dataReplies++
+	st.per[np.Node()].hot.dataReplies++
 	np.Charge(costHomeRespExtra)
 	np.SendReply(r, handler, []uint64{uint64(va)}, data)
 }
@@ -386,7 +386,7 @@ func (st *Protocol) startRecall(np *typhoon.NP, va mem.VA, d *blockDir, synth me
 	d.waiting.clear()
 	d.waiting.add(owner, st.nodes())
 	np.MemRef(synth, true)
-	st.hot.invalsSent++
+	st.per[np.Node()].hot.invalsSent++
 	np.Charge(costHomeRespExtra)
 	np.SendRequest(owner, HInval, []uint64{uint64(va), inval}, nil)
 }
@@ -401,7 +401,7 @@ func (st *Protocol) startHomeInvalidate(np *typhoon.NP, va mem.VA, d *blockDir, 
 	d.waiting.clear()
 	for _, s := range d.sharers.members() {
 		d.waiting.add(s, st.nodes())
-		st.hot.invalsSent++
+		st.per[np.Node()].hot.invalsSent++
 		np.Charge(2)
 		np.SendRequest(s, HInval, []uint64{uint64(va), invalKill}, nil)
 	}
@@ -415,7 +415,7 @@ func (st *Protocol) handleInvalAck(np *typhoon.NP, pkt *network.Packet) {
 	va := mem.VA(pkt.Args[0])
 	src := pkt.Src
 	d, _, synth := st.dirAt(np, va)
-	st.hot.acks++
+	st.per[np.Node()].hot.acks++
 	if pkt.Args[1] == 2 {
 		// The target dropped the page before the invalidation arrived;
 		// its in-flight writeback stands in for this acknowledgement
@@ -475,7 +475,7 @@ func (st *Protocol) completePend(np *typhoon.NP, va mem.VA, d *blockDir, synth m
 			np.SendReply(r, HUpgAck, []uint64{uint64(va)}, nil)
 		} else {
 			data := np.ForceReadBlockScratch(va)
-			st.hot.dataReplies++
+			st.per[np.Node()].hot.dataReplies++
 			np.SendReply(r, HDataRW, []uint64{uint64(va)}, data)
 		}
 	case pendHomeRead:
@@ -512,7 +512,7 @@ func (st *Protocol) completePend(np *typhoon.NP, va mem.VA, d *blockDir, synth m
 // homeBlockFault serves the home CPU's own block access fault: directory
 // work happens locally without request messages (§3).
 func (st *Protocol) homeBlockFault(np *typhoon.NP, f typhoon.Fault) {
-	st.hot.homeFaults++
+	st.per[np.Node()].hot.homeFaults++
 	va := st.BlockBase(f.VA)
 	d, _, synth := st.dirAt(np, va)
 	switch d.state {
@@ -653,7 +653,7 @@ func (st *Protocol) consumeOrphan(np *typhoon.NP, va mem.VA, ns *nodeState) {
 
 // nack tells the requester to retry later.
 func (st *Protocol) nack(np *typhoon.NP, r int, va mem.VA) {
-	st.hot.nacks++
+	st.per[np.Node()].hot.nacks++
 	np.Charge(2)
 	np.SendReply(r, HNack, []uint64{uint64(va)}, nil)
 }

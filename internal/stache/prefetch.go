@@ -41,7 +41,7 @@ func (st *Protocol) handlePrefetch(np *typhoon.NP, pkt *network.Packet) {
 	if ns.pendingValid && ns.pendingVA == va {
 		return // a demand fault already covers it
 	}
-	st.hot.prefetches++
+	st.per[np.Node()].hot.prefetches++
 	ns.prefetching[va] = true
 	home := np.FrameOf(va).Home
 	np.SetTag(va, mem.TagBusy)
@@ -77,6 +77,6 @@ func (st *Protocol) prefetchFill(np *typhoon.NP, pkt *network.Packet, tag mem.Ta
 	np.ForceWriteBlock(va, pkt.Data)
 	np.SetTag(va, tag)
 	np.Charge(costDataArriveExtra)
-	st.hot.prefetchFills++
+	st.per[np.Node()].hot.prefetchFills++
 	return true
 }

@@ -78,6 +78,11 @@ type nodeState struct {
 	wbOutstanding map[mem.VA]bool
 
 	fifo []mem.VA // stache page base VAs, oldest first
+
+	// hot holds the node's protocol counters. Counting per node (each
+	// bump happens on the node's own CPU or NP context) keeps the hot
+	// path shard-local under sharded execution; fold sums the nodes.
+	hot hotStats
 }
 
 // hotStats are the protocol's hot-path counters.
@@ -113,7 +118,6 @@ type Protocol struct {
 
 	per []*nodeState
 
-	hot      hotStats
 	lastFold hotStats
 }
 
@@ -252,7 +256,7 @@ func (st *Protocol) BlockBase(va mem.VA) mem.VA { return va &^ mem.VA(st.bs-1) }
 // fault).
 func (st *Protocol) pageFault(sys *typhoon.System, p *machine.Proc, va mem.VA, write bool) {
 	node := p.ID()
-	st.hot.pageFaults++
+	st.per[node].hot.pageFaults++
 	p.Compute(costPageFault)
 	home := st.m.VM.Home(va)
 	if home == node {
@@ -300,7 +304,7 @@ func (st *Protocol) replacePage(p *machine.Proc) {
 	victim := ns.fifo[0]
 	copy(ns.fifo, ns.fifo[1:])
 	ns.fifo = ns.fifo[:len(ns.fifo)-1]
-	st.hot.replacements++
+	ns.hot.replacements++
 
 	pte, ok := st.m.VM.Table(node).Lookup(victim.VPN())
 	if !ok {
@@ -322,7 +326,7 @@ func (st *Protocol) replacePage(p *machine.Proc) {
 			// Potentially modified: send the data home.
 			p.Compute(costReplaceDirtyPerBlk)
 			m.ReadBlock(blockPA, buf)
-			st.hot.wbDirtyBlocks++
+			ns.hot.wbDirtyBlocks++
 			ns.wbOutstanding[blockVA] = true
 			// Send copies on send, so buf is reusable for the next block.
 			st.sys.Send(p, netRequest, home, HWbDirty, []uint64{uint64(blockVA)}, buf)
@@ -330,7 +334,7 @@ func (st *Protocol) replacePage(p *machine.Proc) {
 			p.Compute(costReplacePerBlock)
 			masks[bi/64] |= 1 << (bi % 64)
 			clean = true
-			st.hot.wbCleanBlocks++
+			ns.hot.wbCleanBlocks++
 			ns.wbOutstanding[blockVA] = true
 		case mem.TagBusy:
 			if !st.per[node].prefetching[blockVA] {
@@ -356,7 +360,28 @@ func (st *Protocol) replacePage(p *machine.Proc) {
 }
 
 func (st *Protocol) fold(c *stats.Counters) {
-	d, l := st.hot, st.lastFold
+	var d hotStats
+	for _, ns := range st.per {
+		h := &ns.hot
+		d.remoteFaults += h.remoteFaults
+		d.homeFaults += h.homeFaults
+		d.getS += h.getS
+		d.getX += h.getX
+		d.upgrades += h.upgrades
+		d.nacks += h.nacks
+		d.invalsSent += h.invalsSent
+		d.acks += h.acks
+		d.pageFaults += h.pageFaults
+		d.replacements += h.replacements
+		d.wbDirtyBlocks += h.wbDirtyBlocks
+		d.wbCleanBlocks += h.wbCleanBlocks
+		d.dataReplies += h.dataReplies
+		d.prefetches += h.prefetches
+		d.prefetchFills += h.prefetchFills
+		d.checkins += h.checkins
+		d.migratoryGrants += h.migratoryGrants
+	}
+	l := st.lastFold
 	c.Add("stache.remote_faults", d.remoteFaults-l.remoteFaults)
 	c.Add("stache.home_faults", d.homeFaults-l.homeFaults)
 	c.Add("stache.gets", d.getS-l.getS)

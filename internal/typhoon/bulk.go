@@ -71,10 +71,10 @@ func (s *System) BulkTransfer(p *machine.Proc, dst int, srcVA, dstVA mem.VA, n i
 	// The CPU sends the parameters to its own NP (§5.2); model the local
 	// message cost and queue the transfer when it "arrives".
 	p.Ctx.Advance(SendSetupCycles + 6*SendPerWordCycles)
-	s.M.Eng.After(1, func() {
+	s.M.Eng.AfterFrom(1, p.ID(), func() {
 		np.bulk = append(np.bulk, bt)
 		np.bulkDone[dst] = append(np.bulkDone[dst], bt)
-		np.ctx.Unpark(s.M.Eng.Now())
+		np.ctx.Unpark(s.M.Eng.NowFor(np.node))
 	})
 	return &Bulk{np: np, bt: bt}
 }

@@ -40,8 +40,8 @@ type fragKey struct {
 // advance charges the sending context (the NP's clock, or the CPU's for
 // processor-initiated sends).
 func (s *System) sendFragmented(advance func(sim.Time), src int, vnet network.VNet, dst int, handler uint32, args []uint64, data []byte) {
-	s.fragSeq++
-	stream := s.fragSeq
+	s.fragSeqs[src]++
+	stream := s.fragSeqs[src]
 	head := append([]uint64{uint64(handler), uint64(len(data)), stream}, args...)
 	s.M.Net.Send(&network.Packet{
 		Src: src, Dst: dst, VNet: vnet, Handler: hFragStart, Args: head,

@@ -25,6 +25,11 @@ type npHot struct {
 	sends         uint64
 	instructions  uint64
 	bulkPackets   uint64
+	// pageFaults counts the node's user-level page faults. It lives in
+	// the NP's hot stats (though the fault runs on the CPU) so the count
+	// stays node-local — shard-local under sharded execution — instead
+	// of contending on the system-wide counter map.
+	pageFaults uint64
 }
 
 // NP is one node's network-interface processor: a user-level programmable
@@ -416,6 +421,7 @@ func (np *NP) fold(c *stats.Counters) {
 	c.Add("np.sends", d.sends-l.sends)
 	c.Add("np.instructions", d.instructions-l.instructions)
 	c.Add("np.bulk_packets", d.bulkPackets-l.bulkPackets)
+	c.Add("typhoon.page_faults", d.pageFaults-l.pageFaults)
 	np.lastFold = d
 }
 

@@ -163,7 +163,10 @@ type System struct {
 
 	c         *stats.Counters
 	foldHooks []func(*stats.Counters)
-	fragSeq   uint64
+	// fragSeqs[src] numbers fragment streams per source node (reassembly
+	// is keyed by {src, stream}, so per-source numbering is exact) — a
+	// global counter would be written from every shard.
+	fragSeqs []uint64
 }
 
 var _ machine.MemSystem = (*System)(nil)
@@ -176,9 +179,15 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 		handlers: make(map[uint32]Handler),
 		modes:    make(map[int]PageModeOps),
 		c:        stats.NewCounters(),
+		fragSeqs: make([]uint64, m.Cfg.Nodes),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.tracer != nil && m.Eng.Shards() > 1 {
+		// The tracer appends to one stream from every node; its emit
+		// order is only meaningful (and only race-free) serially.
+		panic("typhoon: tracing requires a single-shard machine")
 	}
 	m.PerRefOverhead = s.software.CheckOverhead
 	for i := 0; i < m.Cfg.Nodes; i++ {
@@ -207,7 +216,7 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 	// scheduler runs its dispatch iterations inline (no goroutine handoff)
 	// and parks it under "np idle" when nothing is pending.
 	for _, np := range s.nps {
-		np.ctx = m.Eng.SpawnStepperDaemon(fmt.Sprintf("np%d", np.node), np.step, "np idle")
+		np.ctx = m.Eng.SpawnStepperDaemonOn(np.node, fmt.Sprintf("np%d", np.node), np.step, "np idle")
 	}
 	return s
 }
@@ -278,7 +287,7 @@ func (s *System) PageFault(p *machine.Proc, va mem.VA, write bool) {
 	if !ok || ops.PageFault == nil {
 		panic(fmt.Sprintf("typhoon: no page-fault handler for mode %d (va %#x)", mode, va))
 	}
-	s.c.Inc("typhoon.page_faults")
+	s.nps[p.ID()].hot.pageFaults++
 	if s.tracer != nil {
 		aux := uint64(0)
 		if write {
