@@ -1,0 +1,110 @@
+// Package agent is the protocol-agent layer: the one execution skeleton
+// shared by every per-node protocol engine in the simulator, hardware or
+// software. A protocol agent is a stepper daemon bound to a node's
+// network endpoint that drains delivered messages in priority order
+// (replies before requests, paper §5.1), interleaves them with
+// protocol-specific urgent work (logged block access faults) and idle
+// work (bulk transfers), and parks when there is nothing to do. Typhoon's
+// network-interface processor, the EM3D update protocol, Blizzard, and
+// the DirNNB directory controller are all agents: the same dispatch
+// loop models a software NP executing handlers and a hardware directory
+// state machine — they differ only in what a message dispatch costs.
+//
+// The layer is what makes the protocols shard-safe by construction.
+// An agent runs on its node's shard and touches only node-local state;
+// everything between nodes travels through internal/network as events
+// with the engine's stable key, so a protocol built on agents is
+// deterministic at any shard count without protocol-specific locking.
+package agent
+
+import (
+	"github.com/tempest-sim/tempest/internal/network"
+	"github.com/tempest-sim/tempest/internal/sim"
+)
+
+// Dispatcher consumes one delivered message. The core has already
+// advanced the agent's clock to the packet's delivery time; the
+// dispatcher charges whatever the dispatch and handler cost in its
+// model (software dispatch cycles for an NP, directory occupancy for
+// DirNNB) and must run to completion — it must not Park. The core frees
+// the packet when the dispatcher returns, so a dispatcher that keeps
+// payload bytes must copy them.
+type Dispatcher interface {
+	DispatchMessage(c *sim.Context, pkt *network.Packet)
+}
+
+// Work is the optional protocol-specific work an agent interleaves with
+// message dispatch: urgent work preempts request messages (but not
+// replies), idle work runs only when nothing else is pending. Typhoon
+// maps logged block access faults to urgent and block-transfer chunks to
+// idle; a pure message-driven agent (DirNNB) has none.
+type Work interface {
+	HasUrgent() bool
+	RunUrgent(c *sim.Context)
+	HasIdle() bool
+	RunIdle(c *sim.Context)
+}
+
+// Core is one node's protocol agent: the dispatch loop, its stepper
+// context, and the endpoint it drains. Protocol code embeds or holds a
+// Core and supplies the Dispatcher (and optionally Work) behaviour.
+type Core struct {
+	node int
+	net  *network.Network
+
+	// Ctx is the agent's stepper context. Protocol code uses it for
+	// node-local clock reads, charging, and unparking its own node's
+	// compute processor.
+	Ctx *sim.Context
+	// Ep is the node's network endpoint; its Notify is wired to unpark
+	// the agent on delivery.
+	Ep *network.Endpoint
+
+	disp Dispatcher
+	work Work
+}
+
+// Spawn creates node's protocol agent: a stepper daemon (named name,
+// parking as idleReason) whose step drains the node's endpoint through
+// disp, interleaved with work when non-nil. All agents must be spawned
+// before Engine.Run — on sharded engines contexts cannot be created
+// mid-run — and in a deterministic order, since context identity feeds
+// the scheduler's tie-breaking.
+func Spawn(eng *sim.Engine, net *network.Network, node int, name, idleReason string, disp Dispatcher, work Work) *Core {
+	co := &Core{node: node, net: net, Ep: net.Endpoint(node), disp: disp, work: work}
+	co.Ep.Notify = co.notify
+	co.Ctx = eng.SpawnStepperDaemonOn(node, name, co.step, idleReason)
+	return co
+}
+
+// Node returns the agent's node ID.
+func (co *Core) Node() int { return co.node }
+
+func (co *Core) notify(at sim.Time) { co.Ctx.Unpark(at) }
+
+// step is one iteration of the agent loop: replies outrank urgent work,
+// which outranks requests, which outrank idle work; returning false
+// parks the agent until the next delivery or an explicit unpark.
+func (co *Core) step(c *sim.Context) bool {
+	switch {
+	case co.Ep.PendingOn(network.VNetReply) > 0:
+		co.deliver(c, co.Ep.Dequeue())
+	case co.work != nil && co.work.HasUrgent():
+		co.work.RunUrgent(c)
+	case co.Ep.PendingOn(network.VNetRequest) > 0:
+		co.deliver(c, co.Ep.Dequeue())
+	case co.work != nil && co.work.HasIdle():
+		co.work.RunIdle(c)
+	default:
+		return false
+	}
+	return true
+}
+
+func (co *Core) deliver(c *sim.Context, pkt *network.Packet) {
+	c.SyncTo(pkt.DeliveredAt) // the agent was waiting, not time-travelling
+	co.disp.DispatchMessage(c, pkt)
+	// Dispatchers run to completion and copy any payload they keep, so
+	// the packet recycles the moment the dispatch returns.
+	co.net.Free(pkt)
+}

@@ -243,9 +243,11 @@ func TestEvictionChargesReplacementAndCleansDirectory(t *testing.T) {
 	if res.Counters.Get("dirnnb.repl_exclusive") == 0 {
 		t.Error("no exclusive replacement charged")
 	}
-	// Directory must no longer list node 1 as owner of the victim.
+	// Directory must no longer list node 1 as owner of the victim. The
+	// segment is homed on node 0, so its entries live in node 0's slice
+	// of the directory.
 	owners := 0
-	for _, e := range s.dir {
+	for _, e := range s.nodes[0].dir {
 		if e.owner == 1 {
 			owners++
 		}

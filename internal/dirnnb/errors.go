@@ -1,0 +1,31 @@
+package dirnnb
+
+import (
+	"fmt"
+
+	"github.com/tempest-sim/tempest/internal/mem"
+)
+
+// Error is a structured DirNNB failure on a user-reachable condition —
+// a page fault outside the shared segment, or a home node running out of
+// frames. Protocol code panics with an *Error; the engine's context
+// recovery wraps (not flattens) error values, so harness.Run can
+// errors.As the failure out of the run error and report it per sweep
+// point instead of crashing a whole sweep.
+type Error struct {
+	// Op names the failing operation: "page-fault" or "alloc-frame".
+	Op string
+	// Node is the node the failure occurred on (-1 at setup time).
+	Node int
+	// VA is the faulting virtual address, when the failure has one.
+	VA mem.VA
+	// Msg describes the condition.
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.VA != 0 {
+		return fmt.Sprintf("dirnnb: %s on node %d (va %#x): %s", e.Op, e.Node, e.VA, e.Msg)
+	}
+	return fmt.Sprintf("dirnnb: %s on node %d: %s", e.Op, e.Node, e.Msg)
+}

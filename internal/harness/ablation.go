@@ -25,7 +25,7 @@ type AblationRow struct {
 }
 
 // Every ablation takes a shard count for the simulations themselves
-// (machine.Config.Shards; <= 0 means 1, DirNNB points always run serial)
+// (machine.Config.Shards; <= 0 means 1, applied to every system)
 // and a workers count for the RunAll pool (<= 0 = all cores); each
 // configuration point is one job, and the row order is fixed by the
 // sweep definition regardless of completion order. Rows are bit-identical
@@ -200,9 +200,7 @@ func AblationFirstTouch(scale Scale, shards, workers int) ([]AblationRow, error)
 			c.N = 66
 		}
 		c.OwnerPlaced = true
-		cfg := mcfg
-		cfg.Shards = 1 // DirNNB is serial-only
-		m := machine.New(cfg)
+		m := machine.New(mcfg)
 		dirnnb.New(m)
 		app := ocean.New(c)
 		app.Setup(m)

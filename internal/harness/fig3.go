@@ -60,8 +60,8 @@ type Fig3Options struct {
 	// bit-identical at every worker count.
 	Workers int
 	// Shards runs each simulation's nodes across this many scheduler
-	// goroutines (machine.Config.Shards; <= 0 means 1; DirNNB points
-	// always run serial). Results are bit-identical at every value.
+	// goroutines (machine.Config.Shards; <= 0 means 1) for every system,
+	// DirNNB included. Results are bit-identical at every value.
 	Shards int
 	// NoDedup disables the redundant-point elimination: normally a sweep
 	// point whose run never evicted a CPU cache line is reused for every

@@ -31,8 +31,8 @@ type Fig4Options struct {
 	// bit-identical at every worker count.
 	Workers int
 	// Shards runs each simulation's nodes across this many scheduler
-	// goroutines (machine.Config.Shards; <= 0 means 1; DirNNB points
-	// always run serial). Results are bit-identical at every value.
+	// goroutines (machine.Config.Shards; <= 0 means 1) for every system,
+	// DirNNB included. Results are bit-identical at every value.
 	Shards int
 	// Progress, when non-nil, is called after each simulation finishes.
 	Progress func(done, total int)

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/tempest-sim/tempest/internal/apps"
@@ -39,18 +40,26 @@ type RunResult struct {
 
 // Run executes app on the given system and verifies the result. When
 // system is SysUpdate the app must be an *em3d.UpdateApp placeholder
-// built by the caller via BuildUpdate.
-func Run(cfg machine.Config, system System, app apps.App) (RunResult, error) {
-	if system == SysDirNNB && cfg.Shards > 1 {
-		// The DirNNB model services misses by mutating the global
-		// directory and other nodes' caches directly from the requesting
-		// CPU's context (zero-cost hardware state, paper §5), so its runs
-		// must stay on one scheduler goroutine. Clamping (rather than
-		// rejecting) lets one -shards setting drive sweeps that compare
-		// both systems; results are bit-identical at every shard count
-		// either way.
-		cfg.Shards = 1
-	}
+// built by the caller via BuildUpdate. All systems — DirNNB included,
+// now that the directory is a per-node protocol agent — honour
+// cfg.Shards as given.
+func Run(cfg machine.Config, system System, app apps.App) (result RunResult, err error) {
+	// DirNNB reports user-reachable failures (a page fault outside the
+	// shared address space, a home node out of frames) as *dirnnb.Error
+	// panics. Setup-time ones (eager placement in SetupSegment) unwind
+	// to here; run-time ones are wrapped into m.Run's error by the
+	// engine's context recovery. Surface both as errors so a sweep
+	// reports the failing point instead of crashing.
+	defer func() {
+		if r := recover(); r != nil {
+			var derr *dirnnb.Error
+			if e, ok := r.(error); ok && errors.As(e, &derr) {
+				err = fmt.Errorf("harness: %s on %s: %w", app.Name(), system, derr)
+				return
+			}
+			panic(r)
+		}
+	}()
 	m := machine.New(cfg)
 	var st *stache.Protocol
 	switch system {

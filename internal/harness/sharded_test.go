@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"errors"
 	"testing"
 
+	"github.com/tempest-sim/tempest/internal/dirnnb"
 	"github.com/tempest-sim/tempest/internal/machine"
 )
 
@@ -21,10 +23,16 @@ func TestShardedVsSerialEquivalence(t *testing.T) {
 		run  func(t *testing.T, shards int) machine.Result
 	}{
 		{"em3d", func(t *testing.T, shards int) machine.Result {
-			return shardedRun(t, "em3d", shards)
+			return shardedRun(t, "em3d", SysStache, shards)
 		}},
 		{"ocean", func(t *testing.T, shards int) machine.Result {
-			return shardedRun(t, "ocean", shards)
+			return shardedRun(t, "ocean", SysStache, shards)
+		}},
+		{"em3d-dirnnb", func(t *testing.T, shards int) machine.Result {
+			return shardedRun(t, "em3d", SysDirNNB, shards)
+		}},
+		{"ocean-dirnnb", func(t *testing.T, shards int) machine.Result {
+			return shardedRun(t, "ocean", SysDirNNB, shards)
 		}},
 		{"em3d-update", func(t *testing.T, shards int) machine.Result {
 			cfg := MachineConfig(ScaleReduced, 16<<10)
@@ -66,9 +74,9 @@ func TestShardedVsSerialEquivalence(t *testing.T) {
 	}
 }
 
-// shardedRun executes one benchmark on Typhoon/Stache with the given
+// shardedRun executes one benchmark on the given system with the given
 // shard count.
-func shardedRun(t *testing.T, app string, shards int) machine.Result {
+func shardedRun(t *testing.T, app string, sys System, shards int) machine.Result {
 	t.Helper()
 	a, err := MakeApp(app, ScaleReduced, SetSmall)
 	if err != nil {
@@ -76,9 +84,29 @@ func shardedRun(t *testing.T, app string, shards int) machine.Result {
 	}
 	cfg := MachineConfig(ScaleReduced, 16<<10)
 	cfg.Shards = shards
-	rr, err := Run(cfg, SysStache, a)
+	rr, err := Run(cfg, sys, a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return rr.Res
+}
+
+// TestDirNNBSetupErrorSurfaced drives DirNNB out of frames at segment
+// setup and asserts Run reports a structured *dirnnb.Error instead of
+// crashing the sweep.
+func TestDirNNBSetupErrorSurfaced(t *testing.T) {
+	a, err := MakeApp("ocean", ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MachineConfig(ScaleReduced, 16<<10)
+	cfg.MemPagesPerNode = 1 // far too small for ocean's grids
+	_, err = Run(cfg, SysDirNNB, a)
+	var derr *dirnnb.Error
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %v, want *dirnnb.Error", err)
+	}
+	if derr.Op != "alloc-frame" {
+		t.Errorf("Op = %q, want alloc-frame", derr.Op)
+	}
 }

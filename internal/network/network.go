@@ -299,11 +299,27 @@ func (n *Network) Free(p *Packet) {
 // Send copies p — the caller's packet is not retained and may be reused
 // (or live on the caller's stack) immediately.
 func (n *Network) Send(p *Packet) {
+	n.SendAfter(p, 0)
+}
+
+// SendAfter injects a packet whose transmission begins extra cycles after
+// the sender's current time: the packet is delivered extra+latency cycles
+// from now. Protocol agents use it to charge occupancy (directory access,
+// invalidation processing) to a response without suspending: the agent
+// stays available for other messages while the modeled hardware is busy,
+// and the delay composes with the wire latency exactly as a synchronous
+// Advance before Send would. Since extra is never negative the delivery
+// stays at least one network latency (= one conservative window) in the
+// future, so SendAfter is cross-shard safe for any extra.
+func (n *Network) SendAfter(p *Packet, extra sim.Time) {
 	if p.Dst < 0 || p.Dst >= len(n.endpoints) {
 		panic(fmt.Sprintf("network: send to invalid node %d", p.Dst))
 	}
 	if sz := p.PayloadBytes(); sz > MaxPayloadBytes {
 		panic(fmt.Sprintf("network: packet payload %d bytes exceeds %d-byte limit", sz, MaxPayloadBytes))
+	}
+	if extra < 0 {
+		panic("network: negative SendAfter delay")
 	}
 	sh := &n.sh[n.eng.ShardOf(p.Src)]
 	lat := n.latency
@@ -318,7 +334,7 @@ func (n *Network) Send(p *Packet) {
 	q.Src, q.Dst, q.VNet, q.Handler = p.Src, p.Dst, p.VNet, p.Handler
 	q.Args = append(q.argStore[:0], p.Args...)
 	q.Data = append(q.dataStore[:0], p.Data...)
-	q.SentAt = n.eng.NowFor(p.Src)
+	q.SentAt = n.eng.NowFor(p.Src) + extra
 	q.DeliveredAt = q.SentAt + lat
 	q.dst = n.endpoints[p.Dst]
 	n.eng.AtEventFromTo(q.DeliveredAt, q.Src, q.Dst, q)

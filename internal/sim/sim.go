@@ -636,6 +636,18 @@ func (c *Context) stepperRun() {
 	}
 }
 
+// contextPanicError turns a recovered context-body panic into the run's
+// abort error. Error values are wrapped (not flattened to a string) so
+// callers of Engine.Run can unwrap structured failures — e.g. a memory
+// system panicking with a typed protocol error on a user-reachable
+// condition — with errors.As.
+func contextPanicError(name string, r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("sim: context %q panicked: %w", name, err)
+	}
+	return fmt.Errorf("sim: context %q panicked: %v", name, r)
+}
+
 // goroutineExit is the shared teardown of a context goroutine: engine
 // shutdown unwinds silently, a body panic is captured as the shard's
 // abort error, and a finished body hands the conch back.
@@ -644,7 +656,7 @@ func (c *Context) goroutineExit() {
 		if _, ok := r.(shutdownSignal); ok {
 			return // engine teardown; nobody is waiting on backCh
 		}
-		c.sh.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+		c.sh.abort = contextPanicError(c.name, r)
 	}
 	c.state = StateDone
 	// Hand the conch back to the engine, unless the engine is gone.
@@ -1048,7 +1060,7 @@ func (s *shard) dispatchInline(c *Context) {
 			case schedUnwind, shutdownSignal:
 				panic(r)
 			}
-			s.abort = fmt.Errorf("sim: context %q panicked: %v", c.name, r)
+			s.abort = contextPanicError(c.name, r)
 			c.state = StateDone
 		}
 	}()

@@ -3,11 +3,20 @@
 // timestamps, for debugging user-level protocols. Tracing is off unless
 // a Tracer is attached to the Typhoon system; the hot paths pay only a
 // nil check.
+//
+// Events are captured in per-node buffers: every emission names the node
+// it happened on, and all of a node's emitters (its CPU, its protocol
+// agent) execute on that node's shard, so capture is race-free at any
+// shard count without locks. The global stream is reconstructed on
+// demand by a deterministic merge keyed the same way the sharded engine
+// orders simultaneous events — (time, node, per-node emission order) —
+// so a sharded run's merged trace is identical to the serial run's.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/tempest-sim/tempest/internal/mem"
 	"github.com/tempest-sim/tempest/internal/sim"
@@ -59,65 +68,162 @@ func (e Event) String() string {
 	return fmt.Sprintf("%10d node%-3d %-12s va=%#x aux=%d", e.T, e.Node, e.Kind, e.VA, e.Aux)
 }
 
+// nodeBuf is one node's capture buffer. A node's events are appended by
+// that node's contexts only, so the buffer is shard-local state.
+type nodeBuf struct {
+	events  []Event
+	dropped uint64
+}
+
 // Tracer collects events up to a cap (oldest kept), with an optional
-// filter.
+// filter. The cap is divided evenly across the node buffers (at least
+// one event per node), so which events survive a tight cap does not
+// depend on the shard count.
 //
-// A Tracer is not safe for concurrent use: it belongs to exactly one
-// simulated machine. When the harness runs machines in parallel
-// (harness.RunAll), attach a separate Tracer to each machine; sharing
-// one across concurrently running machines is a data race and
-// interleaves unrelated event streams. Reset lets a single goroutine
-// reuse a Tracer (and its backing storage) across sequential runs.
+// A Tracer belongs to exactly one simulated machine: call Prepare with
+// the machine's node count before the run (typhoon.New does this for
+// attached tracers), after which Emit is safe from all of the machine's
+// shards because each emission lands in its node's buffer. Events,
+// Dropped, CountByKind, Dump, and Reset inspect or clear all buffers at
+// once and must only run while the machine is not (single-goroutine use
+// before or after Run). When the harness runs machines in parallel
+// (harness.RunAll), attach a separate Tracer to each machine. Reset lets
+// a single goroutine reuse a Tracer (and its backing storage) across
+// sequential runs.
 type Tracer struct {
 	// Filter, when non-nil, drops events it returns false for.
 	Filter func(Event) bool
-	// Max bounds the number of retained events; zero means 1<<20.
+	// Max bounds the total number of retained events; zero means 1<<20.
 	Max int
 
-	events  []Event
-	dropped uint64
+	bufs   []nodeBuf
+	merged []Event // scratch for Events(); backing reused across calls
+	keys   []mergeKey
 }
 
 // New returns an unbounded-filter tracer retaining up to max events.
 func New(max int) *Tracer { return &Tracer{Max: max} }
 
-// Emit records one event.
-func (t *Tracer) Emit(e Event) {
-	if t.Filter != nil && !t.Filter(e) {
-		return
+// Prepare sizes the tracer for a machine with the given node count. It
+// must be called before a sharded run — growing the buffer table during
+// one would race — and before any emission whose retention should be
+// governed by the final per-node cap. Prepare never shrinks, so a
+// tracer reused across sequential runs keeps its buffers.
+func (t *Tracer) Prepare(nodes int) {
+	for len(t.bufs) < nodes {
+		t.bufs = append(t.bufs, nodeBuf{})
 	}
+}
+
+// perNodeCap is each node's share of the retention cap.
+func (t *Tracer) perNodeCap() int {
 	max := t.Max
 	if max == 0 {
 		max = 1 << 20
 	}
-	if len(t.events) >= max {
-		t.dropped++
+	if n := len(t.bufs); n > 1 {
+		max /= n
+		if max == 0 {
+			max = 1
+		}
+	}
+	return max
+}
+
+// Emit records one event into its node's buffer. Emitting for a node
+// beyond the prepared count grows the table — single-goroutine use only.
+func (t *Tracer) Emit(e Event) {
+	if t.Filter != nil && !t.Filter(e) {
 		return
 	}
-	t.events = append(t.events, e)
+	if e.Node >= len(t.bufs) {
+		t.Prepare(e.Node + 1)
+	}
+	b := &t.bufs[e.Node]
+	if len(b.events) >= t.perNodeCap() {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
 }
 
-// Events returns the recorded events in emission order.
-func (t *Tracer) Events() []Event { return t.events }
+// mergeKey orders the merged stream: time, then node, then the node's
+// emission order — the same shape as the engine's stable event key, and
+// like it a total order that no shard count can disturb.
+type mergeKey struct {
+	t    sim.Time
+	node int
+	seq  int
+}
 
-// Dropped reports how many events the cap discarded.
-func (t *Tracer) Dropped() uint64 { return t.dropped }
+type mergeSort struct {
+	ev   []Event
+	keys []mergeKey
+}
 
-// Reset clears the trace.
+func (m *mergeSort) Len() int { return len(m.ev) }
+func (m *mergeSort) Swap(i, j int) {
+	m.ev[i], m.ev[j] = m.ev[j], m.ev[i]
+	m.keys[i], m.keys[j] = m.keys[j], m.keys[i]
+}
+func (m *mergeSort) Less(i, j int) bool {
+	a, b := m.keys[i], m.keys[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.seq < b.seq
+}
+
+// Events returns the recorded events merged across nodes in the
+// deterministic (time, node, per-node emission order) order. The
+// returned slice is the tracer's scratch buffer: it is rebuilt (into
+// the same backing storage) by the next Events call and cleared by
+// Reset.
+func (t *Tracer) Events() []Event {
+	t.merged = t.merged[:0]
+	t.keys = t.keys[:0]
+	for n := range t.bufs {
+		for i, e := range t.bufs[n].events {
+			t.merged = append(t.merged, e)
+			t.keys = append(t.keys, mergeKey{t: e.T, node: n, seq: i})
+		}
+	}
+	// Keys are unique (node, seq), so an unstable sort is deterministic.
+	sort.Sort(&mergeSort{ev: t.merged, keys: t.keys})
+	return t.merged
+}
+
+// Dropped reports how many events the cap discarded, over all nodes.
+func (t *Tracer) Dropped() uint64 {
+	var d uint64
+	for i := range t.bufs {
+		d += t.bufs[i].dropped
+	}
+	return d
+}
+
+// Reset clears the trace, keeping all backing storage.
 func (t *Tracer) Reset() {
-	t.events = t.events[:0]
-	t.dropped = 0
+	for i := range t.bufs {
+		t.bufs[i].events = t.bufs[i].events[:0]
+		t.bufs[i].dropped = 0
+	}
+	t.merged = t.merged[:0]
+	t.keys = t.keys[:0]
 }
 
-// Dump writes the trace, one event per line.
+// Dump writes the merged trace, one event per line.
 func (t *Tracer) Dump(w io.Writer) error {
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
 			return err
 		}
 	}
-	if t.dropped > 0 {
-		if _, err := fmt.Fprintf(w, "(%d events dropped at cap)\n", t.dropped); err != nil {
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped at cap)\n", d); err != nil {
 			return err
 		}
 	}
@@ -127,8 +233,10 @@ func (t *Tracer) Dump(w io.Writer) error {
 // CountByKind tallies the trace.
 func (t *Tracer) CountByKind() map[Kind]int {
 	out := make(map[Kind]int)
-	for _, e := range t.events {
-		out[e.Kind]++
+	for i := range t.bufs {
+		for _, e := range t.bufs[i].events {
+			out[e.Kind]++
+		}
 	}
 	return out
 }

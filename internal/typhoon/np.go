@@ -3,6 +3,7 @@ package typhoon
 import (
 	"fmt"
 
+	"github.com/tempest-sim/tempest/internal/agent"
 	"github.com/tempest-sim/tempest/internal/cache"
 	"github.com/tempest-sim/tempest/internal/machine"
 	"github.com/tempest-sim/tempest/internal/mem"
@@ -35,10 +36,14 @@ type npHot struct {
 // NP is one node's network-interface processor: a user-level programmable
 // integer core coupled to the network interface, with its own TLB, a
 // reverse TLB for tag lookups, a data cache for handler state, and the
-// block-transfer unit (paper Figure 2).
+// block-transfer unit (paper Figure 2). Its dispatch loop is a protocol
+// agent (internal/agent): the shared core drains the endpoint in
+// priority order and the NP supplies the software dispatch/handler
+// model on top.
 type NP struct {
 	sys  *System
 	node int
+	core *agent.Core
 	ctx  *sim.Context
 	ep   *network.Endpoint
 
@@ -127,46 +132,23 @@ func (np *NP) Sync() { np.ctx.Sync() }
 // Proc returns the node's compute processor.
 func (np *NP) Proc() *machine.Proc { return np.sys.M.Procs[np.node] }
 
-func (np *NP) deliveryNotify(at sim.Time) { np.ctx.Unpark(at) }
-
 func (np *NP) postFault(f Fault) {
 	np.faults.push(f)
 	np.ctx.Unpark(f.Proc.Ctx.Time())
 }
 
-// step is one iteration of the NP's software dispatch loop (paper §5.1):
-// the dispatch hardware constructs a handler PC from an incoming message
-// or from status bits (a logged block access fault); the loop reads it
-// and jumps. Reply messages outrank faults, which outrank requests; every
-// handler runs to completion. The scheduler invokes steps inline
-// (sim.SpawnStepperDaemon), back-to-back with no scheduling point between
-// them; returning false parks the NP until the next delivery or fault.
-func (np *NP) step(c *sim.Context) bool {
-	switch {
-	case np.ep.PendingOn(network.VNetReply) > 0:
-		np.runMessage(c, np.ep.Dequeue())
-	case np.faults.n > 0:
-		np.runFault(c, np.faults.pop())
-	case np.ep.PendingOn(network.VNetRequest) > 0:
-		np.runMessage(c, np.ep.Dequeue())
-	case len(np.bulk) > 0:
-		// The block-transfer thread runs only when no messages or
-		// faults are waiting (§5.2).
-		np.runBulkChunk(c)
-	default:
-		return false
-	}
-	return true
-}
-
-func (np *NP) runMessage(c *sim.Context, pkt *network.Packet) {
+// DispatchMessage implements agent.Dispatcher: the software dispatch of
+// one delivered message (paper §5.1). The dispatch hardware constructs a
+// handler PC from the incoming message; the loop reads it and jumps.
+// Every handler runs to completion. The agent core has already synced
+// the NP's clock to the delivery time and frees the packet afterwards.
+func (np *NP) DispatchMessage(c *sim.Context, pkt *network.Packet) {
 	h, ok := np.sys.handlers[pkt.Handler]
 	if !ok {
 		panic(fmt.Sprintf("typhoon: np%d received message for unregistered handler %d", np.node, pkt.Handler))
 	}
 	np.hot.dispatches++
 	np.hot.msgHandlers++
-	c.SyncTo(pkt.DeliveredAt) // an idle NP was waiting, not time-travelling
 	if np.sys.tracer != nil {
 		np.sys.tracer.Emit(trace.Event{T: c.Time(), Node: np.node, Kind: trace.KMsgRecv, Aux: uint64(pkt.Handler)})
 	}
@@ -179,11 +161,21 @@ func (np *NP) runMessage(c *sim.Context, pkt *network.Packet) {
 		c.Sync() // a resume's yield precedes publishing the stolen cycles
 		np.sys.M.StealCycles(np.node, c.Time()-t0+np.sys.software.DispatchOverhead)
 	}
-	// Handlers run to completion and copy any payload they keep (Send
-	// itself copies on send), so the packet recycles the moment the
-	// handler returns.
-	np.sys.M.Net.Free(pkt)
 }
+
+// HasUrgent implements agent.Work: logged block access faults outrank
+// request messages (but not replies).
+func (np *NP) HasUrgent() bool { return np.faults.n > 0 }
+
+// RunUrgent implements agent.Work: dispatch one logged fault.
+func (np *NP) RunUrgent(c *sim.Context) { np.runFault(c, np.faults.pop()) }
+
+// HasIdle implements agent.Work: the block-transfer thread runs only
+// when no messages or faults are waiting (§5.2).
+func (np *NP) HasIdle() bool { return len(np.bulk) > 0 }
+
+// RunIdle implements agent.Work: move one bulk-transfer chunk.
+func (np *NP) RunIdle(c *sim.Context) { np.runBulkChunk(c) }
 
 func (np *NP) runFault(c *sim.Context, f Fault) {
 	ops, ok := np.sys.modes[f.Mode]

@@ -14,6 +14,7 @@ package typhoon
 import (
 	"fmt"
 
+	"github.com/tempest-sim/tempest/internal/agent"
 	"github.com/tempest-sim/tempest/internal/cache"
 	"github.com/tempest-sim/tempest/internal/machine"
 	"github.com/tempest-sim/tempest/internal/mem"
@@ -184,10 +185,11 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 	for _, o := range opts {
 		o(s)
 	}
-	if s.tracer != nil && m.Eng.Shards() > 1 {
-		// The tracer appends to one stream from every node; its emit
-		// order is only meaningful (and only race-free) serially.
-		panic("typhoon: tracing requires a single-shard machine")
+	if s.tracer != nil {
+		// Size the tracer's per-node buffers up front: every emit is
+		// node-local (shard-local under sharded execution) and the merged
+		// stream is reconstructed deterministically at read time.
+		s.tracer.Prepare(m.Cfg.Nodes)
 	}
 	m.PerRefOverhead = s.software.CheckOverhead
 	for i := 0; i < m.Cfg.Nodes; i++ {
@@ -202,7 +204,6 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 			frags:    make(map[fragKey]*fragBuf),
 			scratch:  make([]byte, m.Cfg.BlockSize),
 		}
-		np.ep.Notify = np.deliveryNotify
 		s.nps = append(s.nps, np)
 	}
 	s.handlers[hBulkData] = (*NP).bulkDataHandler
@@ -212,11 +213,14 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 	m.SetMemSystem(s)
 	proto.Attach(s)
 	// Spawn dispatch loops only after attach so handler registration is
-	// complete before any message can arrive. Each NP is a stepper: the
-	// scheduler runs its dispatch iterations inline (no goroutine handoff)
-	// and parks it under "np idle" when nothing is pending.
+	// complete before any message can arrive. Each NP rides a protocol
+	// agent (internal/agent): a stepper whose dispatch iterations the
+	// scheduler runs inline (no goroutine handoff), parked under "np
+	// idle" when nothing is pending, with faults as the NP's urgent work
+	// and bulk transfers as its idle work.
 	for _, np := range s.nps {
-		np.ctx = m.Eng.SpawnStepperDaemonOn(np.node, fmt.Sprintf("np%d", np.node), np.step, "np idle")
+		np.core = agent.Spawn(m.Eng, m.Net, np.node, fmt.Sprintf("np%d", np.node), "np idle", np, np)
+		np.ctx = np.core.Ctx
 	}
 	return s
 }
