@@ -23,10 +23,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the performance sweep and appends a labelled entry (seconds
-# per app + output digest) to BENCH_sim.json.
+# bench runs the performance sweep twice — the ideal machine and the
+# pinned contended configuration (4 B/cycle links, 20-cycle agents) —
+# and appends one labelled entry per configuration (seconds per app +
+# output digest + link-bw/occupancy fields) to BENCH_sim.json.
 bench:
 	$(GO) run ./cmd/bench -label "$${BENCH_LABEL:-dev}"
+	$(GO) run ./cmd/bench -label "$${BENCH_LABEL:-dev}-contended" -link-bw 4 -occupancy 20
 
 # microbench runs the per-figure/table Go benchmarks.
 microbench:
@@ -38,17 +41,22 @@ bench-smoke:
 	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
 
 # digest-check runs the bench sweep and compares its output digest to
-# the committed golden — any drift means simulated results changed.
-# SHARDS > 1 runs each simulation's nodes across that many scheduler
-# goroutines; the digest must not move.
+# the committed goldens — any drift means simulated results changed.
+# The legacy golden pins the contention-free machine; the contended
+# golden pins the 4 B/cycle, 20-cycle-occupancy configuration. SHARDS
+# > 1 runs each simulation's nodes across that many scheduler
+# goroutines; neither digest may move.
 digest-check:
 	$(GO) run ./cmd/bench -shards "$${SHARDS:-1}" -check testdata/bench.digest
+	$(GO) run ./cmd/bench -shards "$${SHARDS:-1}" -link-bw 4 -occupancy 20 -check testdata/bench_contended.digest
 
-# bench-parallel is the sharded-execution smoke: the same digest gate
+# bench-parallel is the sharded-execution smoke: the same digest gates
 # with every simulation split across two scheduler goroutines. Identical
-# output is the determinism guarantee of the windowed engine.
+# output is the determinism guarantee of the windowed engine, contention
+# model included.
 bench-parallel:
 	$(GO) run ./cmd/bench -shards 2 -check testdata/bench.digest
+	$(GO) run ./cmd/bench -shards 2 -link-bw 4 -occupancy 20 -check testdata/bench_contended.digest
 
 # profile runs the bench sweep under the CPU and allocation profilers;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

@@ -1,9 +1,11 @@
 // Command ablations runs the design-choice sweeps DESIGN.md catalogues:
 // coherence-block size, data placement, stache page budget, network
 // latency, first-touch placement, migratory sharing, the EM3D protocol
-// chain (invalidate vs. check-in vs. update), and the software-Tempest
-// comparison. Each sweep's points fan out across -j worker goroutines
-// (0 = all cores); row order and values are identical at every count.
+// chain (invalidate vs. check-in vs. update), the software-Tempest
+// comparison, and the contention sweep (finite link bandwidth and agent
+// occupancy, DESIGN.md §9). Each sweep's points fan out across -j worker
+// goroutines (0 = all cores); row order and values are identical at
+// every count.
 package main
 
 import (
@@ -12,13 +14,16 @@ import (
 	"os"
 
 	"github.com/tempest-sim/tempest/internal/harness"
+	"github.com/tempest-sim/tempest/internal/sim"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "reduced", "workload scale: reduced or paper")
-	only := flag.String("only", "", "run a single ablation: blocksize, placement, budget, netlatency, firsttouch, migratory, em3d, software")
+	only := flag.String("only", "", "run a single ablation: blocksize, placement, budget, netlatency, firsttouch, migratory, em3d, software, contention")
 	jobs := flag.Int("j", 0, "parallel simulations per sweep (0 = all cores)")
 	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
+	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle for every sweep (0 = infinite, the paper's model; the contention sweep uses its own grid)")
+	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message for every sweep (0 = unbounded concurrency; the contention sweep uses its own grid)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -35,7 +40,18 @@ func main() {
 	if nodes := harness.MachineConfig(sc, 0).Nodes; *shards < 1 || *shards > nodes {
 		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (%s scale has %d nodes)", *shards, nodes, sc, nodes))
 	}
-	j, sh := *jobs, *shards
+	if *linkBW < 0 {
+		fail(fmt.Errorf("-link-bw %d: link bandwidth must be >= 0 bytes/cycle", *linkBW))
+	}
+	if *occupancy < 0 {
+		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
+	}
+	j := *jobs
+	sp := harness.SimParams{
+		Shards:            *shards,
+		LinkBytesPerCycle: *linkBW,
+		OccupancyCycles:   sim.Time(*occupancy),
+	}
 
 	type ab struct {
 		key   string
@@ -44,26 +60,26 @@ func main() {
 	}
 	all := []ab{
 		{"blocksize", "Coherence-block size (Typhoon/Stache, EM3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationBlockSize(sc, sp, j) }},
 		{"placement", "Data placement (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationPlacement(sc, sp, j) }},
 		{"budget", "Stache page budget (EM3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationStacheBudget(sc, sp, j) }},
 		{"netlatency", "Network latency sensitivity (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationNetLatency(sc, sp, j) }},
 		{"firsttouch", "First-touch page placement (Ocean small, 4 KB caches)",
-			func() ([]harness.AblationRow, error) { return harness.AblationFirstTouch(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationFirstTouch(sc, sp, j) }},
 		{"migratory", "Migratory-sharing extension (MP3D small)",
-			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationMigratory(sc, sp, j) }},
 		{"em3d", "EM3D protocol chain at 30% remote edges (paper section 4)",
-			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationEM3DProtocols(sc, 30, sp, j) }},
 		{"software", "Software Tempest (Blizzard) vs. Typhoon hardware",
-			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc, sh, j) }},
+			func() ([]harness.AblationRow, error) { return harness.AblationSoftwareTempest(sc, sp, j) }},
 	}
 
 	// Validate -only before running anything, not after the full sweep.
 	if *only != "" {
-		known := false
+		known := *only == "contention"
 		for _, a := range all {
 			if a.key == *only {
 				known = true
@@ -84,6 +100,23 @@ func main() {
 			os.Exit(1)
 		}
 		if err := harness.RenderAblation(os.Stdout, a.title, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	// The contention sweep renders its own richer table (ratios and
+	// queueing counters per cell) and sweeps its own config grid, so it
+	// ignores -link-bw/-occupancy.
+	if *only == "" || *only == "contention" {
+		cells, err := harness.ContentionSweep(harness.ContentionOptions{
+			Scale: sc, Workers: j, Shards: *shards,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablations: contention:", err)
+			os.Exit(1)
+		}
+		if err := harness.RenderContention(os.Stdout, cells); err != nil {
 			fmt.Fprintln(os.Stderr, "ablations:", err)
 			os.Exit(1)
 		}

@@ -43,6 +43,8 @@ type Entry struct {
 	GoMaxProcs int                `json:"gomaxprocs,omitempty"`
 	Workers    int                `json:"workers"`
 	Shards     int                `json:"shards,omitempty"`
+	LinkBW     int                `json:"link_bw,omitempty"`
+	Occupancy  int64              `json:"occupancy,omitempty"`
 	Seconds    map[string]float64 `json:"seconds"`
 	Digest     string             `json:"digest"`
 }
@@ -57,6 +59,8 @@ func main() {
 	label := flag.String("label", "HEAD", "label for this entry (e.g. a PR or commit name)")
 	jobs := flag.Int("j", 1, "parallel simulations (1 isolates simulator speed from host cores)")
 	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..8 reduced-scale nodes; the digest is identical at every value)")
+	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle (0 = infinite; non-zero changes the digest)")
+	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message (0 = unbounded; non-zero changes the digest)")
 	noDedup := flag.Bool("no-dedup", false, "simulate every Figure 3 point, even ones provably identical to a smaller-cache run")
 	check := flag.String("check", "", "golden digest file: compare instead of appending, exit 1 on mismatch")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -72,6 +76,12 @@ func main() {
 	}
 	if nodes := harness.MachineConfig(harness.ScaleReduced, 0).Nodes; *shards < 1 || *shards > nodes {
 		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (the reduced scale has %d nodes)", *shards, nodes, nodes))
+	}
+	if *linkBW < 0 {
+		fail(fmt.Errorf("-link-bw %d: link bandwidth must be >= 0 bytes/cycle", *linkBW))
+	}
+	if *occupancy < 0 {
+		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
 	}
 
 	if *cpuprofile != "" {
@@ -96,11 +106,13 @@ func main() {
 	for _, app := range harness.BenchNames {
 		start := time.Now()
 		cs, err := harness.Figure3(harness.Fig3Options{
-			Scale:   harness.ScaleReduced,
-			Apps:    []string{app},
-			Workers: *jobs,
-			Shards:  *shards,
-			NoDedup: *noDedup,
+			Scale:             harness.ScaleReduced,
+			Apps:              []string{app},
+			Workers:           *jobs,
+			Shards:            *shards,
+			LinkBytesPerCycle: *linkBW,
+			OccupancyCycles:   sim.Time(*occupancy),
+			NoDedup:           *noDedup,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
 			},
@@ -119,11 +131,13 @@ func main() {
 	// Reduced Figure 4: the EM3D remote-edge sweep on the small set.
 	start := time.Now()
 	pts, err := harness.Figure4(harness.Fig4Options{
-		Scale:   harness.ScaleReduced,
-		Set:     harness.SetSmall,
-		Pcts:    []int{0, 20, 50},
-		Workers: *jobs,
-		Shards:  *shards,
+		Scale:             harness.ScaleReduced,
+		Set:               harness.SetSmall,
+		Pcts:              []int{0, 20, 50},
+		Workers:           *jobs,
+		Shards:            *shards,
+		LinkBytesPerCycle: *linkBW,
+		OccupancyCycles:   sim.Time(*occupancy),
 	})
 	if err != nil {
 		fail(err)
@@ -190,6 +204,8 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    *jobs,
 		Shards:     *shards,
+		LinkBW:     *linkBW,
+		Occupancy:  *occupancy,
 		Seconds:    seconds,
 		Digest:     sum,
 	}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"github.com/tempest-sim/tempest/internal/harness"
+	"github.com/tempest-sim/tempest/internal/sim"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	appsFlag := flag.String("apps", "", "comma-separated benchmark subset (default: all five)")
 	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
 	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
+	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle (0 = infinite, the paper's model)")
+	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message (0 = unbounded concurrency)")
 	noDedup := flag.Bool("no-dedup", false, "simulate every sweep point, even ones provably identical to a smaller-cache run")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
@@ -41,11 +44,19 @@ func main() {
 	if nodes := harness.MachineConfig(scale, 0).Nodes; *shards < 1 || *shards > nodes {
 		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (%s scale has %d nodes)", *shards, nodes, scale, nodes))
 	}
+	if *linkBW < 0 {
+		fail(fmt.Errorf("-link-bw %d: link bandwidth must be >= 0 bytes/cycle", *linkBW))
+	}
+	if *occupancy < 0 {
+		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
+	}
 	opts := harness.Fig3Options{
-		Scale:   scale,
-		Workers: *jobs,
-		Shards:  *shards,
-		NoDedup: *noDedup,
+		Scale:             scale,
+		Workers:           *jobs,
+		Shards:            *shards,
+		LinkBytesPerCycle: *linkBW,
+		OccupancyCycles:   sim.Time(*occupancy),
+		NoDedup:           *noDedup,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

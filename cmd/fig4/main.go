@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/tempest-sim/tempest/internal/harness"
+	"github.com/tempest-sim/tempest/internal/sim"
 )
 
 func main() {
@@ -21,6 +22,8 @@ func main() {
 	pcts := flag.String("pcts", "", "comma-separated remote-edge percentages (default 0..50 step 10)")
 	jobs := flag.Int("j", 0, "parallel simulations (0 = all cores)")
 	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
+	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle (0 = infinite, the paper's model)")
+	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message (0 = unbounded concurrency)")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
@@ -42,7 +45,17 @@ func main() {
 	if nodes := harness.MachineConfig(scale, 0).Nodes; *shards < 1 || *shards > nodes {
 		fail(fmt.Errorf("-shards %d: shard count must be in [1, %d] (%s scale has %d nodes)", *shards, nodes, scale, nodes))
 	}
-	opts := harness.Fig4Options{Scale: scale, Set: set, Workers: *jobs, Shards: *shards}
+	if *linkBW < 0 {
+		fail(fmt.Errorf("-link-bw %d: link bandwidth must be >= 0 bytes/cycle", *linkBW))
+	}
+	if *occupancy < 0 {
+		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
+	}
+	opts := harness.Fig4Options{
+		Scale: scale, Set: set, Workers: *jobs, Shards: *shards,
+		LinkBytesPerCycle: *linkBW,
+		OccupancyCycles:   sim.Time(*occupancy),
+	}
 	if *pcts != "" {
 		for _, s := range strings.Split(*pcts, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))

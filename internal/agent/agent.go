@@ -62,16 +62,29 @@ type Core struct {
 
 	disp Dispatcher
 	work Work
+
+	// Occupancy model (zero occ disables it, the legacy behaviour): the
+	// agent is busy until busyUntil after each message dispatch, so
+	// back-to-back dispatches serialise instead of being serviced with
+	// unbounded concurrency. occWaits/occWaitCycles count the messages
+	// that found the agent busy and the total cycles they waited — the
+	// hot-home queueing the paper's §6 occupancy argument is about.
+	occ           sim.Time
+	busyUntil     sim.Time
+	occWaits      uint64
+	occWaitCycles uint64
 }
 
 // Spawn creates node's protocol agent: a stepper daemon (named name,
 // parking as idleReason) whose step drains the node's endpoint through
-// disp, interleaved with work when non-nil. All agents must be spawned
-// before Engine.Run — on sharded engines contexts cannot be created
-// mid-run — and in a deterministic order, since context identity feeds
-// the scheduler's tie-breaking.
-func Spawn(eng *sim.Engine, net *network.Network, node int, name, idleReason string, disp Dispatcher, work Work) *Core {
-	co := &Core{node: node, net: net, Ep: net.Endpoint(node), disp: disp, work: work}
+// disp, interleaved with work when non-nil. occ is the agent's service
+// occupancy per message dispatch (machine.Config.OccupancyCycles; zero
+// models infinite concurrency). All agents must be spawned before
+// Engine.Run — on sharded engines contexts cannot be created mid-run —
+// and in a deterministic order, since context identity feeds the
+// scheduler's tie-breaking.
+func Spawn(eng *sim.Engine, net *network.Network, node int, name, idleReason string, occ sim.Time, disp Dispatcher, work Work) *Core {
+	co := &Core{node: node, net: net, Ep: net.Endpoint(node), disp: disp, work: work, occ: occ}
 	co.Ep.Notify = co.notify
 	co.Ctx = eng.SpawnStepperDaemonOn(node, name, co.step, idleReason)
 	return co
@@ -101,10 +114,37 @@ func (co *Core) step(c *sim.Context) bool {
 	return true
 }
 
+// OccStats returns the occupancy model's queueing at this agent: how
+// many dispatches found the agent busy, and the total cycles they spent
+// waiting for it. Both are zero when the agent charges no occupancy.
+func (co *Core) OccStats() (waits, waitCycles uint64) {
+	return co.occWaits, co.occWaitCycles
+}
+
 func (co *Core) deliver(c *sim.Context, pkt *network.Packet) {
 	c.SyncTo(pkt.DeliveredAt) // the agent was waiting, not time-travelling
+	if co.occ > 0 && co.busyUntil > c.Time() {
+		// The previous dispatch still occupies the agent: the message
+		// waits, delivered but unserviced, until the agent frees up.
+		co.occWaits++
+		co.occWaitCycles += uint64(co.busyUntil - c.Time())
+		c.SyncTo(co.busyUntil)
+	}
+	start := c.Time()
 	co.disp.DispatchMessage(c, pkt)
 	// Dispatchers run to completion and copy any payload they keep, so
 	// the packet recycles the moment the dispatch returns.
 	co.net.Free(pkt)
+	if co.occ > 0 {
+		// The agent stays occupied occ cycles from dispatch start; a
+		// dispatcher that already advanced further (a long software
+		// handler) is busy for its real duration instead. Occupancy
+		// covers message service only — urgent and idle work charge
+		// their own costs.
+		if end := start + co.occ; end > c.Time() {
+			co.busyUntil = end
+		} else {
+			co.busyUntil = c.Time()
+		}
+	}
 }

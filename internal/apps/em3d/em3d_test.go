@@ -133,7 +133,11 @@ func TestEM3DDeterministic(t *testing.T) {
 // paper's message counts exclude a processor's hints to its own NP,
 // which short-circuit the network).
 func netMessages(res machine.Result) uint64 {
-	return res.Net.Packets[0] + res.Net.Packets[1] - res.Net.LocalSends
+	var msgs uint64
+	for _, v := range res.Net.VNets {
+		msgs += v.Packets
+	}
+	return msgs - res.Net.LocalSends
 }
 
 // TestCheckInVariantCorrectAndCheaperThanPlain reproduces the paper §4

@@ -162,6 +162,10 @@ type nodeState struct {
 
 	hot      hotStats
 	lastFold hotStats
+	// lastOccWaits/lastOccWaitCycles delta-fold the agent core's
+	// occupancy-queueing stats, like lastFold does for hot.
+	lastOccWaits      uint64
+	lastOccWaitCycles uint64
 }
 
 // System is the DirNNB memory system.
@@ -191,7 +195,7 @@ func New(m *machine.Machine) *System {
 		s.nodes = append(s.nodes, ns)
 	}
 	for _, ns := range s.nodes {
-		ns.core = agent.Spawn(m.Eng, m.Net, ns.node, fmt.Sprintf("dir%d", ns.node), "directory idle", ns, nil)
+		ns.core = agent.Spawn(m.Eng, m.Net, ns.node, fmt.Sprintf("dir%d", ns.node), "directory idle", m.Cfg.OccupancyCycles, ns, nil)
 	}
 	m.SetMemSystem(s)
 	return s
@@ -228,6 +232,10 @@ func (ns *nodeState) fold(c *stats.Counters) {
 	c.Add("dirnnb.repl_exclusive", d.replExclusive-l.replExclusive)
 	c.Add("dirnnb.first_touch_claims", d.firstTouchClaims-l.firstTouchClaims)
 	ns.lastFold = d
+	w, wc := ns.core.OccStats()
+	c.Add("dirnnb.occ_waits", w-ns.lastOccWaits)
+	c.Add("dirnnb.occ_wait_cycles", wc-ns.lastOccWaitCycles)
+	ns.lastOccWaits, ns.lastOccWaitCycles = w, wc
 }
 
 // SetupSegment eagerly allocates each page's frame at its home node and

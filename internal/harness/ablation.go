@@ -24,9 +24,9 @@ type AblationRow struct {
 	Extra  map[string]uint64
 }
 
-// Every ablation takes a shard count for the simulations themselves
-// (machine.Config.Shards; <= 0 means 1, applied to every system)
-// and a workers count for the RunAll pool (<= 0 = all cores); each
+// Every ablation takes the SimParams for the simulations themselves
+// (shard count, link bandwidth, agent occupancy — applied to every
+// system) and a workers count for the RunAll pool (<= 0 = all cores); each
 // configuration point is one job, and the row order is fixed by the
 // sweep definition regardless of completion order. Rows are bit-identical
 // at every shard and worker count.
@@ -35,13 +35,13 @@ type AblationRow struct {
 // (the paper fixes 32 bytes but defines blocks as 32-128 bytes, §2.4):
 // larger blocks amortise handler overhead against false sharing and
 // wasted transfer.
-func AblationBlockSize(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationBlockSize(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	var jobs []Job[AblationRow]
 	for _, bs := range []int{32, 64, 128} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
 			cfg := MachineConfig(scale, 0)
 			cfg.BlockSize = bs
-			cfg.Shards = shards
+			sp.apply(&cfg)
 			app, err := MakeApp("em3d", scale, SetSmall)
 			if err != nil {
 				return AblationRow{}, err
@@ -66,10 +66,10 @@ func AblationBlockSize(scale Scale, shards, workers int) ([]AblationRow, error) 
 // placement recovers much of DirNNB's disadvantage: Ocean under DirNNB
 // with the naive round-robin placement of a shared malloc versus
 // owner-aligned bands, against Typhoon/Stache which needs no placement.
-func AblationPlacement(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationPlacement(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	cacheKB := 4
 	mcfg := MachineConfig(scale, cacheKB<<10)
-	mcfg.Shards = shards
+	sp.apply(&mcfg)
 	ocfg := ocean.Small()
 	if scale != ScalePaper {
 		ocfg.N = 66
@@ -103,10 +103,10 @@ func AblationPlacement(scale Scale, shards, workers int) ([]AblationRow, error) 
 // AblationStacheBudget sweeps the per-node stache-page budget to expose
 // the FIFO page-replacement machinery (§3: "replacements are rare" with
 // ample memory; a tight budget makes them common).
-func AblationStacheBudget(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationStacheBudget(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	mcfg := MachineConfig(scale, 0)
-	mcfg.Shards = shards
+	sp.apply(&mcfg)
 	var jobs []Job[AblationRow]
 	for _, budget := range []int{0, 16, 4, 2} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
@@ -145,14 +145,14 @@ func AblationStacheBudget(scale Scale, shards, workers int) ([]AblationRow, erro
 // AblationNetLatency sweeps the network latency (Table 2's 11 cycles is
 // "probably optimistic for future systems" and deliberately favours
 // DirNNB; this quantifies the sensitivity the paper mentions).
-func AblationNetLatency(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationNetLatency(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	var jobs []Job[AblationRow]
 	for _, lat := range []sim.Time{11, 44, 88} {
 		for _, sys := range []System{SysDirNNB, SysStache} {
 			jobs = append(jobs, func(context.Context) (AblationRow, error) {
 				cfg := MachineConfig(scale, 4<<10)
 				cfg.NetLatency = lat
-				cfg.Shards = shards
+				sp.apply(&cfg)
 				app, err := MakeApp("ocean", scale, SetSmall)
 				if err != nil {
 					return AblationRow{}, err
@@ -175,9 +175,9 @@ func AblationNetLatency(scale Scale, shards, workers int) ([]AblationRow, error)
 // with first-touch page placement on MP3D (paper §6 cites Stenstrom et
 // al.'s first-touch result). First touch lands each particle page on the
 // node that initialises it — its owner.
-func AblationFirstTouch(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationFirstTouch(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 4<<10)
-	mcfg.Shards = shards
+	sp.apply(&mcfg)
 	var jobs []Job[AblationRow]
 	for _, sys := range []System{SysDirNNB, SysStache} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
@@ -234,14 +234,18 @@ func RenderAblation(w io.Writer, title string, rows []AblationRow) error {
 // per remote datum per iteration, check-in annotations cut that to
 // three by replacing the invalidation round trip, and the custom update
 // protocol reaches the minimum of one.
-func AblationEM3DProtocols(scale Scale, pctRemote, shards, workers int) ([]AblationRow, error) {
+func AblationEM3DProtocols(scale Scale, pctRemote int, sp SimParams, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	ecfg.PctRemote = pctRemote
 	mcfg := MachineConfig(scale, 0)
-	mcfg.Shards = shards
+	sp.apply(&mcfg)
 
 	netMsgs := func(res machine.Result) uint64 {
-		return res.Net.Packets[0] + res.Net.Packets[1] - res.Net.LocalSends
+		var msgs uint64
+		for _, v := range res.Net.VNets {
+			msgs += v.Packets
+		}
+		return msgs - res.Net.LocalSends
 	}
 	// stacheRow runs one Stache variant (plain or check-in).
 	stacheRow := func(label string, checkin bool) (AblationRow, error) {
@@ -304,9 +308,9 @@ func AblationEM3DProtocols(scale Scale, pctRemote, shards, workers int) ([]Ablat
 // AblationMigratory measures the migratory-sharing optimisation (a
 // user-level protocol-policy extension, off by default) on MP3D, whose
 // scattered read-modify-writes are the pattern it targets.
-func AblationMigratory(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationMigratory(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 64<<10)
-	mcfg.Shards = shards
+	sp.apply(&mcfg)
 	var jobs []Job[AblationRow]
 	for _, mig := range []bool{false, true} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
@@ -349,13 +353,13 @@ func AblationMigratory(scale Scale, shards, workers int) ([]AblationRow, error) 
 // implementation (the paper's announced "native version for existing
 // machines", later published as Blizzard), quantifying what Typhoon's
 // custom hardware buys.
-func AblationSoftwareTempest(scale Scale, shards, workers int) ([]AblationRow, error) {
+func AblationSoftwareTempest(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	var jobs []Job[AblationRow]
 	for _, name := range []string{"ocean", "em3d"} {
 		for _, software := range []bool{false, true} {
 			jobs = append(jobs, func(context.Context) (AblationRow, error) {
 				cfg := MachineConfig(scale, 16<<10)
-				cfg.Shards = shards
+				sp.apply(&cfg)
 				m := machine.New(cfg)
 				st := stache.New()
 				label := name + "/typhoon"

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+)
+
+// ContentionPoint is one configuration of the contention sweep: a link
+// bandwidth and a protocol-agent occupancy. The zero point is the
+// paper's machine (infinite bandwidth, unbounded agent concurrency).
+type ContentionPoint struct {
+	LinkBytesPerCycle int
+	OccupancyCycles   sim.Time
+}
+
+func (p ContentionPoint) String() string {
+	if p.LinkBytesPerCycle == 0 && p.OccupancyCycles == 0 {
+		return "ideal"
+	}
+	bw := "∞"
+	if p.LinkBytesPerCycle > 0 {
+		bw = fmt.Sprintf("%dB/c", p.LinkBytesPerCycle)
+	}
+	return fmt.Sprintf("bw=%s occ=%d", bw, p.OccupancyCycles)
+}
+
+// ContentionPoints is the default sweep grid: the ideal machine, link
+// bandwidth alone (8 then 4 bytes/cycle — an 80-byte data packet
+// serialises for 10 or 20 cycles against the 11-cycle wire), agent
+// occupancy alone (20 cycles, on the order of DirNNB's Table 2
+// directory terms), and both together.
+var ContentionPoints = []ContentionPoint{
+	{0, 0},
+	{8, 0},
+	{4, 0},
+	{0, 20},
+	{4, 20},
+}
+
+// ContentionCell is one (app, point) measurement of the sweep: both
+// systems' measured-region times, the Figure 3 ratio, and the queueing
+// the contention model made visible — network port-wait cycles and
+// protocol-agent occupancy-wait cycles per system.
+type ContentionCell struct {
+	App             string
+	Point           ContentionPoint
+	DirNNB, Typhoon sim.Time
+	// Relative is Typhoon/Stache over DirNNB, as in Figure 3.
+	Relative float64
+	// DirNetQueue/TyphNetQueue are cycles packets spent waiting for busy
+	// injection/ejection ports, summed over both virtual networks.
+	DirNetQueue, TyphNetQueue uint64
+	// DirAgentWait/TyphAgentWait are cycles messages spent waiting for a
+	// busy directory controller / NP — the hot-home queueing of §6.
+	DirAgentWait, TyphAgentWait uint64
+}
+
+// ContentionOptions selects the sweep's extent.
+type ContentionOptions struct {
+	Scale Scale
+	// Apps are the benchmarks to sweep; nil = em3d and ocean (the two
+	// with the hottest home nodes in the Figure 3 suite).
+	Apps []string
+	// Points are the contention configurations; nil = ContentionPoints.
+	Points []ContentionPoint
+	// CacheKB is the CPU cache size; <= 0 means 4 (the most
+	// traffic-intensive Figure 3 point, where contention bites hardest).
+	CacheKB int
+	// Workers sizes the worker pool; <= 0 uses all cores.
+	Workers int
+	// Shards is machine.Config.Shards for every run; results are
+	// bit-identical at every value, contention included.
+	Shards int
+}
+
+// ContentionSweep reruns a Figure-3-style comparison across contention
+// configurations: how do the Typhoon-vs-DirNNB ratios shift once link
+// bandwidth and directory/NP occupancy are charged instead of assumed
+// free? Each (app, point, system) is one job on the RunAll pool; cells
+// are returned in (app, point) order.
+func ContentionSweep(opts ContentionOptions) ([]ContentionCell, error) {
+	names := opts.Apps
+	if names == nil {
+		names = []string{"em3d", "ocean"}
+	}
+	points := opts.Points
+	if points == nil {
+		points = ContentionPoints
+	}
+	cacheKB := opts.CacheKB
+	if cacheKB <= 0 {
+		cacheKB = 4
+	}
+	var jobs []Job[RunResult]
+	for _, name := range names {
+		for _, pt := range points {
+			for _, sys := range []System{SysDirNNB, SysStache} {
+				jobs = append(jobs, func(context.Context) (RunResult, error) {
+					app, err := MakeApp(name, opts.Scale, SetSmall)
+					if err != nil {
+						return RunResult{}, err
+					}
+					cfg := MachineConfig(opts.Scale, cacheKB<<10)
+					cfg.Shards = opts.Shards
+					cfg.LinkBytesPerCycle = pt.LinkBytesPerCycle
+					cfg.OccupancyCycles = pt.OccupancyCycles
+					return Run(cfg, sys, app)
+				})
+			}
+		}
+	}
+	results, err := RunAll(jobs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	netQueue := func(rr RunResult) uint64 {
+		var q uint64
+		for _, v := range rr.Res.Net.VNets {
+			q += v.QueueingCycles
+		}
+		return q
+	}
+	var cells []ContentionCell
+	i := 0
+	for _, name := range names {
+		for _, pt := range points {
+			dir, typh := results[i], results[i+1]
+			i += 2
+			cells = append(cells, ContentionCell{
+				App:           name,
+				Point:         pt,
+				DirNNB:        dir.Res.ROICycles,
+				Typhoon:       typh.Res.ROICycles,
+				Relative:      float64(typh.Res.ROICycles) / float64(dir.Res.ROICycles),
+				DirNetQueue:   netQueue(dir),
+				TyphNetQueue:  netQueue(typh),
+				DirAgentWait:  dir.Res.Counters.Get("dirnnb.occ_wait_cycles"),
+				TyphAgentWait: typh.Res.Counters.Get("np.occ_wait_cycles"),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// RenderContention prints the contention sweep, one row per (app, point),
+// with the per-cell delta of the Figure 3 ratio against the app's ideal
+// (contention-free) row.
+func RenderContention(w io.Writer, cells []ContentionCell) error {
+	t := &stats.Table{
+		Title: "Contention sweep: Figure 3 ratios with finite link bandwidth and agent occupancy charged",
+		Header: []string{"benchmark", "config", "DirNNB cycles", "Typhoon/Stache cycles",
+			"relative", "Δ vs ideal", "net queue (dir/typh)", "agent wait (dir/typh)"},
+	}
+	ideal := make(map[string]float64)
+	for _, c := range cells {
+		if c.Point == (ContentionPoint{}) {
+			ideal[c.App] = c.Relative
+		}
+	}
+	for _, c := range cells {
+		delta := "—"
+		if base, ok := ideal[c.App]; ok && c.Point != (ContentionPoint{}) {
+			delta = fmt.Sprintf("%+.3f", c.Relative-base)
+		}
+		t.AddRow(c.App, c.Point.String(),
+			stats.D(uint64(c.DirNNB)),
+			stats.D(uint64(c.Typhoon)),
+			stats.F(c.Relative),
+			delta,
+			fmt.Sprintf("%s/%s", stats.D(c.DirNetQueue), stats.D(c.TyphNetQueue)),
+			fmt.Sprintf("%s/%s", stats.D(c.DirAgentWait), stats.D(c.TyphAgentWait)))
+	}
+	return t.Render(w)
+}

@@ -63,6 +63,12 @@ type Fig3Options struct {
 	// goroutines (machine.Config.Shards; <= 0 means 1) for every system,
 	// DirNNB included. Results are bit-identical at every value.
 	Shards int
+	// LinkBytesPerCycle and OccupancyCycles enable the contention model
+	// (machine.Config fields of the same names) on every sweep point.
+	// Zero values reproduce the paper's infinite-bandwidth,
+	// unbounded-concurrency machine — the pinned goldens' configuration.
+	LinkBytesPerCycle int
+	OccupancyCycles   sim.Time
 	// NoDedup disables the redundant-point elimination: normally a sweep
 	// point whose run never evicted a CPU cache line is reused for every
 	// larger cache size of the same data set, because such a run is
@@ -136,6 +142,8 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 					}
 					cfg := MachineConfig(opts.Scale, fc.CacheKB<<10)
 					cfg.Shards = opts.Shards
+					cfg.LinkBytesPerCycle = opts.LinkBytesPerCycle
+					cfg.OccupancyCycles = opts.OccupancyCycles
 					rr, err := Run(cfg, sys, app)
 					if err != nil {
 						return nil, err

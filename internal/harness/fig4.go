@@ -34,6 +34,11 @@ type Fig4Options struct {
 	// goroutines (machine.Config.Shards; <= 0 means 1) for every system,
 	// DirNNB included. Results are bit-identical at every value.
 	Shards int
+	// LinkBytesPerCycle and OccupancyCycles enable the contention model
+	// (machine.Config fields of the same names) on every sweep point;
+	// zero values reproduce the paper's contention-free machine.
+	LinkBytesPerCycle int
+	OccupancyCycles   sim.Time
 	// Progress, when non-nil, is called after each simulation finishes.
 	Progress func(done, total int)
 }
@@ -56,6 +61,8 @@ func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 	}
 	mcfg := MachineConfig(opts.Scale, 0)
 	mcfg.Shards = opts.Shards
+	mcfg.LinkBytesPerCycle = opts.LinkBytesPerCycle
+	mcfg.OccupancyCycles = opts.OccupancyCycles
 	var jobs []Job[em3dRun]
 	for _, pct := range pcts {
 		for _, sys := range fig4Systems {

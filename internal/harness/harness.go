@@ -17,6 +17,8 @@ import (
 	"github.com/tempest-sim/tempest/internal/apps/ocean"
 	"github.com/tempest-sim/tempest/internal/dirnnb"
 	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/network"
+	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stache"
 	"github.com/tempest-sim/tempest/internal/typhoon"
 )
@@ -46,15 +48,18 @@ type RunResult struct {
 func Run(cfg machine.Config, system System, app apps.App) (result RunResult, err error) {
 	// DirNNB reports user-reachable failures (a page fault outside the
 	// shared address space, a home node out of frames) as *dirnnb.Error
-	// panics. Setup-time ones (eager placement in SetupSegment) unwind
-	// to here; run-time ones are wrapped into m.Run's error by the
-	// engine's context recovery. Surface both as errors so a sweep
-	// reports the failing point instead of crashing.
+	// panics, and the network reports its own (oversized payload,
+	// wrapped-negative SendAfter delay from bad config math) as
+	// *network.Error. Setup-time ones unwind to here; run-time ones are
+	// wrapped into m.Run's error by the engine's context recovery.
+	// Surface both as errors so a sweep reports the failing point
+	// instead of crashing.
 	defer func() {
 		if r := recover(); r != nil {
 			var derr *dirnnb.Error
-			if e, ok := r.(error); ok && errors.As(e, &derr) {
-				err = fmt.Errorf("harness: %s on %s: %w", app.Name(), system, derr)
+			var nerr *network.Error
+			if e, ok := r.(error); ok && (errors.As(e, &derr) || errors.As(e, &nerr)) {
+				err = fmt.Errorf("harness: %s on %s: %w", app.Name(), system, e)
 				return
 			}
 			panic(r)
@@ -240,4 +245,28 @@ func MachineConfig(scale Scale, cacheBytes int) machine.Config {
 		cfg.CacheSize = cacheBytes
 	}
 	return cfg
+}
+
+// SimParams carries the simulator-level knobs every sweep threads into
+// machine.Config: scheduler sharding and the contention model. The zero
+// value is the legacy configuration — serial, infinite bandwidth, no
+// agent occupancy — under which every pinned golden was produced.
+// Results are bit-identical at every Shards value for any contention
+// setting.
+type SimParams struct {
+	// Shards is machine.Config.Shards (<= 0 means 1).
+	Shards int
+	// LinkBytesPerCycle is machine.Config.LinkBytesPerCycle: per-port
+	// link bandwidth of the contention model (0 = infinite).
+	LinkBytesPerCycle int
+	// OccupancyCycles is machine.Config.OccupancyCycles: protocol-agent
+	// service occupancy per message (0 = unbounded concurrency).
+	OccupancyCycles sim.Time
+}
+
+// apply copies the params onto a machine config.
+func (p SimParams) apply(cfg *machine.Config) {
+	cfg.Shards = p.Shards
+	cfg.LinkBytesPerCycle = p.LinkBytesPerCycle
+	cfg.OccupancyCycles = p.OccupancyCycles
 }

@@ -166,9 +166,11 @@ func TestParallelDeterminism(t *testing.T) {
 			name string
 			run  func(workers int) ([]AblationRow, error)
 		}{
-			{"blocksize", func(w int) ([]AblationRow, error) { return AblationBlockSize(ScaleReduced, 1, w) }},
-			{"em3d-protocols", func(w int) ([]AblationRow, error) { return AblationEM3DProtocols(ScaleReduced, 30, 1, w) }},
-			{"netlatency", func(w int) ([]AblationRow, error) { return AblationNetLatency(ScaleReduced, 1, w) }},
+			{"blocksize", func(w int) ([]AblationRow, error) { return AblationBlockSize(ScaleReduced, SimParams{Shards: 1}, w) }},
+			{"em3d-protocols", func(w int) ([]AblationRow, error) {
+				return AblationEM3DProtocols(ScaleReduced, 30, SimParams{Shards: 1}, w)
+			}},
+			{"netlatency", func(w int) ([]AblationRow, error) { return AblationNetLatency(ScaleReduced, SimParams{Shards: 1}, w) }},
 		} {
 			a, err := tc.run(1)
 			if err != nil {

@@ -6,6 +6,8 @@ import (
 
 	"github.com/tempest-sim/tempest/internal/dirnnb"
 	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/network"
+	"github.com/tempest-sim/tempest/internal/sim"
 )
 
 // TestShardedVsSerialEquivalence runs the same workloads serially and
@@ -42,6 +44,23 @@ func TestShardedVsSerialEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			return rr.Res
+		}},
+		// Contended cases: the same equivalence with finite link bandwidth
+		// and agent occupancy charged. Port and agent busy state is
+		// node-local, and head arrivals are at least a wire latency out, so
+		// contended deliveries must still be bit-identical at every shard
+		// count — including the new queueing counters.
+		{"em3d-contended", func(t *testing.T, shards int) machine.Result {
+			return contendedRun(t, "em3d", SysStache, shards)
+		}},
+		{"ocean-contended", func(t *testing.T, shards int) machine.Result {
+			return contendedRun(t, "ocean", SysStache, shards)
+		}},
+		{"em3d-dirnnb-contended", func(t *testing.T, shards int) machine.Result {
+			return contendedRun(t, "em3d", SysDirNNB, shards)
+		}},
+		{"ocean-dirnnb-contended", func(t *testing.T, shards int) machine.Result {
+			return contendedRun(t, "ocean", SysDirNNB, shards)
 		}},
 	}
 	for _, tc := range cases {
@@ -89,6 +108,56 @@ func shardedRun(t *testing.T, app string, sys System, shards int) machine.Result
 		t.Fatal(err)
 	}
 	return rr.Res
+}
+
+// contendedRun is shardedRun with the contention model enabled at the
+// pinned CI configuration (4 bytes/cycle links, 20-cycle agents).
+func contendedRun(t *testing.T, app string, sys System, shards int) machine.Result {
+	t.Helper()
+	a, err := MakeApp(app, ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MachineConfig(ScaleReduced, 4<<10)
+	cfg.Shards = shards
+	cfg.LinkBytesPerCycle = 4
+	cfg.OccupancyCycles = 20
+	rr, err := Run(cfg, sys, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr.Res
+}
+
+// badSendApp is a degenerate benchmark whose body performs one send
+// with a wrapped-negative delay — the classic uint64 underflow a
+// protocol's timing math can produce.
+type badSendApp struct{ m *machine.Machine }
+
+func (a *badSendApp) Name() string             { return "bad-send" }
+func (a *badSendApp) Setup(m *machine.Machine) { a.m = m }
+func (a *badSendApp) Body(p *machine.Proc) {
+	if p.ID() == 0 {
+		var base sim.Time
+		a.m.Net.SendAfter(&network.Packet{Src: 0, Dst: 1, VNet: network.VNetRequest}, base-5)
+	}
+}
+func (a *badSendApp) Verify(*machine.Machine) error { return nil }
+
+// TestNetworkErrorSurfaced asserts a *network.Error panic from inside a
+// simulated context unwinds through the engine into Run's error — the
+// same structured-failure contract TestDirNNBSetupErrorSurfaced pins
+// for setup-time panics.
+func TestNetworkErrorSurfaced(t *testing.T) {
+	cfg := MachineConfig(ScaleReduced, 16<<10)
+	_, err := Run(cfg, SysDirNNB, &badSendApp{})
+	var nerr *network.Error
+	if !errors.As(err, &nerr) {
+		t.Fatalf("err = %v, want *network.Error", err)
+	}
+	if nerr.Op != "send-after" {
+		t.Errorf("Op = %q, want send-after", nerr.Op)
+	}
 }
 
 // TestDirNNBSetupErrorSurfaced drives DirNNB out of frames at segment

@@ -41,6 +41,21 @@ type Config struct {
 	// BarrierLatency is the hardware barrier latency (11).
 	BarrierLatency sim.Time
 
+	// LinkBytesPerCycle enables the network contention model: finite
+	// per-port link bandwidth in bytes per cycle (packets serialise
+	// through their injection and ejection ports for
+	// ceil(payload/bandwidth) cycles, queueing FIFO behind each other).
+	// Zero models infinite bandwidth — the paper's simplification and
+	// the behaviour every pinned digest assumes.
+	LinkBytesPerCycle int
+	// OccupancyCycles enables the agent contention model: every protocol
+	// agent (Typhoon NP, DirNNB directory controller) is busy for this
+	// many cycles after dispatching a message, so back-to-back dispatches
+	// serialise and hot-home queueing becomes visible (paper §6 names NP
+	// occupancy, not latency, as the real bottleneck). Zero restores the
+	// legacy unbounded-concurrency behaviour.
+	OccupancyCycles sim.Time
+
 	// MemPagesPerNode bounds each node's DRAM in 4 KB frames. Zero means
 	// unbounded. Stache replacement only triggers under a bound.
 	MemPagesPerNode int
@@ -184,14 +199,27 @@ func New(cfg Config) *Machine {
 	if cfg.Shards < 1 || cfg.Shards > cfg.Nodes {
 		panic(fmt.Sprintf("machine: %d shards outside [1, %d nodes]", cfg.Shards, cfg.Nodes))
 	}
+	if cfg.LinkBytesPerCycle < 0 {
+		panic(fmt.Sprintf("machine: negative link bandwidth %d", cfg.LinkBytesPerCycle))
+	}
 	engOpts := []sim.Option{sim.WithQuantum(cfg.Quantum)}
 	if cfg.GoroutineDispatch {
 		engOpts = append(engOpts, sim.WithGoroutineDispatch())
 	}
+	netCfg := network.Config{
+		Nodes:             cfg.Nodes,
+		Latency:           cfg.NetLatency,
+		LinkBytesPerCycle: cfg.LinkBytesPerCycle,
+	}
 	// The lookahead window: nodes interact only through the network and
-	// the barrier, so the smaller of the two latencies bounds how far one
-	// shard can run without seeing another shard's effects.
-	window := cfg.NetLatency
+	// the barrier, so the smallest cross-node interaction latency bounds
+	// how far one shard can run without seeing another shard's effects.
+	// The network term is its earliest possible contended delivery —
+	// which the contention model keeps at the wire latency, since port
+	// queueing only ever pushes a delivery later (see
+	// network.Config.MinCrossShardDelivery); sim's window-safety
+	// assertion enforces the claim at run time.
+	window := netCfg.MinCrossShardDelivery()
 	if cfg.BarrierLatency < window {
 		window = cfg.BarrierLatency
 	}
@@ -200,7 +228,7 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		Cfg: cfg,
 		Eng: eng,
-		Net: network.New(eng, network.Config{Nodes: cfg.Nodes, Latency: cfg.NetLatency}),
+		Net: network.New(eng, netCfg),
 		VM:  vm.NewSystem(cfg.Nodes),
 		Bar: sim.NewBarrier(eng, cfg.Nodes, cfg.BarrierLatency),
 	}
@@ -318,8 +346,12 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 	}
 	res.Counters.Merge(m.Sys.Counters())
 	res.Net = m.Net.Stats()
-	res.Counters.Add("net.packets.request", res.Net.Packets[network.VNetRequest])
-	res.Counters.Add("net.packets.reply", res.Net.Packets[network.VNetReply])
+	res.Counters.Add("net.packets.request", res.Net.VNets[network.VNetRequest].Packets)
+	res.Counters.Add("net.packets.reply", res.Net.VNets[network.VNetReply].Packets)
+	res.Counters.Add("net.queueing.request", res.Net.VNets[network.VNetRequest].QueueingCycles)
+	res.Counters.Add("net.queueing.reply", res.Net.VNets[network.VNetReply].QueueingCycles)
+	res.Counters.Add("net.max_queue.request", res.Net.VNets[network.VNetRequest].MaxQueueDepth)
+	res.Counters.Add("net.max_queue.reply", res.Net.VNets[network.VNetReply].MaxQueueDepth)
 	// Engine dispatch counters: how protocol activations were hosted.
 	// These describe simulator mechanics, not simulated behaviour — they
 	// are excluded from result-equivalence comparisons (the two dispatch

@@ -2,8 +2,19 @@
 // machines: a CM-5-style network (paper §5) with two independent virtual
 // networks for deadlock avoidance, a fixed end-to-end latency (Table 2:
 // 11 cycles), a bounded packet payload (twenty 32-bit words), and
-// in-order per-sender delivery into per-node receive queues. Contention
-// is not modeled, matching the paper's stated simulation limitations.
+// in-order per-sender delivery into per-node receive queues.
+//
+// Link contention is modeled when Config.LinkBytesPerCycle is non-zero:
+// each endpoint owns one injection and one ejection port per virtual
+// network, and a packet occupies both for ceil(PayloadBytes/
+// LinkBytesPerCycle) cycles — first the source injection port (serialising
+// sends behind in-flight packets, FIFO in issue order), then, after the
+// wire latency, the destination ejection port (serialising arrivals, FIFO
+// in arrival order with ties broken by the engine's stable event key).
+// Port waits accumulate in the per-VNet QueueingCycles counter. With
+// LinkBytesPerCycle zero the network has infinite bandwidth and a send
+// costs exactly the fixed latency — the paper's stated simulation
+// simplification, and the legacy behaviour every pinned digest assumes.
 //
 // The dataplane is allocation-free in steady state: Send copies the
 // caller's packet into a pooled packet whose argument and data storage
@@ -83,7 +94,9 @@ type Packet struct {
 	dataStore [maxDataBytes]byte
 	dst       *Endpoint // delivery target while in flight, nil otherwise
 	next      *Packet   // free-list link
+	linkOcc   sim.Time  // per-port occupancy cycles; 0 = infinite bandwidth
 	pooled    bool      // allocated by Network.alloc; safe to Free
+	ejected   bool      // ejection port claimed; next Fire is the enqueue
 }
 
 // PayloadBytes returns the packet's size against the payload limit.
@@ -94,12 +107,35 @@ func (p *Packet) PayloadBytes() int {
 // Fire delivers the packet: it runs as a sim.Event at the delivery time,
 // enqueues the packet at its destination, and wakes the receiver. Using
 // the packet itself as the event avoids a closure allocation per send.
-// DeliveredAt is fixed at send time (SentAt + latency, exactly the time
-// the delivery event fires at), so Fire never consults a global clock —
-// under sharded execution the packet may fire on a different shard than
-// it was sent from.
+// DeliveredAt is fixed at send time (the time the delivery event fires
+// at), so Fire never consults a global clock — under sharded execution
+// the packet may fire on a different shard than it was sent from.
+//
+// Under the finite-bandwidth model a remote packet fires twice: the
+// first firing, at head arrival, claims the destination ejection port
+// (FIFO behind whatever is draining through it — arrivals in the same
+// cycle are ordered by the engine's stable event key, so the claim order
+// is identical at every shard count) and reschedules the packet for when
+// the port has drained it; the second firing enqueues it. Both firings
+// and the port state are owned by the destination's shard.
 func (p *Packet) Fire() {
 	dst := p.dst
+	if p.linkOcc > 0 && !p.ejected {
+		arr := p.DeliveredAt // head arrival at the ejection port
+		start := arr
+		if busy := dst.ejBusy[p.VNet]; busy > start {
+			start = busy
+			net := dst.net
+			net.sh[net.eng.ShardOf(dst.node)].stats.VNets[p.VNet].QueueingCycles += uint64(start - arr)
+		}
+		dst.ejBusy[p.VNet] = start + p.linkOcc
+		p.ejected = true
+		p.DeliveredAt = start + p.linkOcc
+		dst.net.eng.AtEventFromTo(p.DeliveredAt, dst.node, dst.node, p)
+		return
+	}
+	p.ejected = false
+	p.linkOcc = 0
 	p.dst = nil
 	dst.queues[p.VNet].push(p)
 	if dst.Notify != nil {
@@ -107,11 +143,25 @@ func (p *Packet) Fire() {
 	}
 }
 
+// VNetStats counts one virtual network's traffic. The per-VNet counters
+// live in an array indexed by VNet so a new counter is automatically
+// carried for every network — they cannot desync from the VNet enum.
+type VNetStats struct {
+	Packets      uint64
+	PayloadBytes uint64
+	// QueueingCycles is the total cycles packets spent waiting for busy
+	// injection or ejection ports. Always zero with infinite bandwidth.
+	QueueingCycles uint64
+	// MaxQueueDepth is the high-water depth of the per-endpoint receive
+	// FIFOs — how far behind the worst consumer (NP dispatch loop,
+	// directory agent) fell. Non-zero even with infinite bandwidth.
+	MaxQueueDepth uint64
+}
+
 // Stats counts network traffic.
 type Stats struct {
-	Packets      [2]uint64 // by VNet
-	PayloadBytes [2]uint64
-	LocalSends   uint64 // CPU-to-own-NP short circuits
+	VNets      [numVNets]VNetStats
+	LocalSends uint64 // CPU-to-own-NP short circuits
 }
 
 // pktRing is a growable power-of-two ring buffer of packets: a FIFO
@@ -121,6 +171,7 @@ type pktRing struct {
 	buf        []*Packet
 	head, tail int // head = next pop, tail = next push
 	n          int
+	hw         int // high-water depth, for Stats.MaxQueueDepth
 }
 
 func (r *pktRing) push(p *Packet) {
@@ -130,6 +181,9 @@ func (r *pktRing) push(p *Packet) {
 	r.buf[r.tail] = p
 	r.tail = (r.tail + 1) & (len(r.buf) - 1)
 	r.n++
+	if r.n > r.hw {
+		r.hw = r.n
+	}
 }
 
 func (r *pktRing) pop() *Packet {
@@ -159,6 +213,15 @@ type Endpoint struct {
 	node   int
 	net    *Network
 	queues [numVNets]pktRing
+	// injBusy/ejBusy are the per-VNet port-free times of the finite-
+	// bandwidth model: a packet occupies its source injection port and
+	// destination ejection port for its serialisation time, and later
+	// packets queue FIFO behind it. injBusy is touched at send time on
+	// the sender's shard; ejBusy at arrival time on the receiver's shard
+	// — both node-local, so the model is shard-safe by construction.
+	// Unused (always zero) with infinite bandwidth.
+	injBusy [numVNets]sim.Time
+	ejBusy  [numVNets]sim.Time
 	// Notify is invoked (while holding the conch) whenever a packet is
 	// delivered, with the delivery time. The NP uses it to unpark its
 	// dispatch loop.
@@ -193,6 +256,7 @@ type Network struct {
 	eng          *sim.Engine
 	latency      sim.Time
 	localLatency sim.Time
+	linkBW       int // bytes per cycle per port; 0 = infinite bandwidth
 	endpoints    []*Endpoint
 	// sh holds the per-shard dataplane state: traffic counters (bumped at
 	// send time, on the sender's shard) and the pooled-packet free list
@@ -209,10 +273,14 @@ type netShard struct {
 }
 
 func (s *Stats) add(o Stats) {
-	s.Packets[VNetRequest] += o.Packets[VNetRequest]
-	s.Packets[VNetReply] += o.Packets[VNetReply]
-	s.PayloadBytes[VNetRequest] += o.PayloadBytes[VNetRequest]
-	s.PayloadBytes[VNetReply] += o.PayloadBytes[VNetReply]
+	for v := range s.VNets {
+		s.VNets[v].Packets += o.VNets[v].Packets
+		s.VNets[v].PayloadBytes += o.VNets[v].PayloadBytes
+		s.VNets[v].QueueingCycles += o.VNets[v].QueueingCycles
+		if o.VNets[v].MaxQueueDepth > s.VNets[v].MaxQueueDepth {
+			s.VNets[v].MaxQueueDepth = o.VNets[v].MaxQueueDepth
+		}
+	}
 	s.LocalSends += o.LocalSends
 }
 
@@ -224,18 +292,41 @@ type Config struct {
 	// LocalLatency is the CPU-to-own-NP short-circuit latency (paper
 	// §5.1: the CPU can send directly to its local NP). Zero means 1.
 	LocalLatency sim.Time
+	// LinkBytesPerCycle is the per-port link bandwidth of the contention
+	// model: a packet occupies its injection and ejection ports for
+	// ceil(PayloadBytes/LinkBytesPerCycle) cycles each. Zero models
+	// infinite bandwidth (the paper's simplification; legacy behaviour).
+	LinkBytesPerCycle int
 }
+
+// MinCrossShardDelivery returns the earliest a packet sent now can take
+// effect on another node: the wire latency to the head's arrival. The
+// contention model only ever adds delay after that point (injection
+// waits push the whole timeline later; ejection serialisation is charged
+// on the destination's shard after the head arrives), so the bound — and
+// with it the conservative shard window — is the same with or without
+// finite bandwidth.
+func (c Config) MinCrossShardDelivery() sim.Time { return c.Latency }
 
 // New builds a network.
 func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.Nodes <= 0 {
 		panic("network: need at least one node")
 	}
+	if cfg.LinkBytesPerCycle < 0 {
+		panic(fmt.Sprintf("network: negative link bandwidth %d", cfg.LinkBytesPerCycle))
+	}
 	ll := cfg.LocalLatency
 	if ll == 0 {
 		ll = 1
 	}
-	n := &Network{eng: eng, latency: cfg.Latency, localLatency: ll, sh: make([]netShard, eng.Shards())}
+	n := &Network{
+		eng:          eng,
+		latency:      cfg.Latency,
+		localLatency: ll,
+		linkBW:       cfg.LinkBytesPerCycle,
+		sh:           make([]netShard, eng.Shards()),
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n.endpoints = append(n.endpoints, &Endpoint{node: i, net: n})
 	}
@@ -248,13 +339,21 @@ func (n *Network) Endpoint(node int) *Endpoint { return n.endpoints[node] }
 // Latency returns the configured end-to-end latency.
 func (n *Network) Latency() sim.Time { return n.latency }
 
-// Stats returns a copy of the traffic counters, summed across shards.
-// During a sharded run only the calling shard's slice is coherent; the
-// full sum is for after Run (or between windows).
+// Stats returns a copy of the traffic counters, summed across shards
+// (MaxQueueDepth folds by max, over the endpoints' receive-ring
+// high-water marks). During a sharded run only the calling shard's slice
+// is coherent; the full sum is for after Run (or between windows).
 func (n *Network) Stats() Stats {
 	s := n.sh[0].stats
 	for i := 1; i < len(n.sh); i++ {
 		s.add(n.sh[i].stats)
+	}
+	for _, ep := range n.endpoints {
+		for v := range ep.queues {
+			if hw := uint64(ep.queues[v].hw); hw > s.VNets[v].MaxQueueDepth {
+				s.VNets[v].MaxQueueDepth = hw
+			}
+		}
 	}
 	return s
 }
@@ -290,11 +389,22 @@ func (n *Network) Free(p *Packet) {
 	sh.free = p
 }
 
+// maxSendDelay bounds SendAfter's extra. sim.Time is unsigned, so
+// negative delay arithmetic in a caller does not produce a value below
+// zero — it wraps to one near 2^64, which used to schedule the delivery
+// in the unreachable far future and hang the run. Any delay above this
+// bound can only come from such a wrap (2^62 cycles is ~36 years of
+// simulated time at a nanosecond clock) and is rejected as an *Error.
+const maxSendDelay = sim.Time(1) << 62
+
 // Send injects a packet. It must be called while holding the conch; the
 // packet is delivered (enqueued and Notify'd) latency cycles after the
-// current global time. Messages from one node to its own NP short-circuit
-// the network (paper §5.1). Send panics if the payload exceeds the
-// twenty-word limit — protocol code must packetise larger transfers.
+// current global time, plus its port-serialisation time under the
+// finite-bandwidth model. Messages from one node to its own NP
+// short-circuit the network (paper §5.1) and bypass the ports. Send
+// panics with an *Error if the payload exceeds the twenty-word limit —
+// protocol code must packetise larger transfers — or if the destination
+// is not a node of this machine.
 //
 // Send copies p — the caller's packet is not retained and may be reused
 // (or live on the caller's stack) immediately.
@@ -303,39 +413,67 @@ func (n *Network) Send(p *Packet) {
 }
 
 // SendAfter injects a packet whose transmission begins extra cycles after
-// the sender's current time: the packet is delivered extra+latency cycles
-// from now. Protocol agents use it to charge occupancy (directory access,
-// invalidation processing) to a response without suspending: the agent
-// stays available for other messages while the modeled hardware is busy,
-// and the delay composes with the wire latency exactly as a synchronous
-// Advance before Send would. Since extra is never negative the delivery
-// stays at least one network latency (= one conservative window) in the
-// future, so SendAfter is cross-shard safe for any extra.
+// the sender's current time: the packet reaches its destination's
+// injection port then, queues FIFO (in send-issue order) behind packets
+// still draining through it when bandwidth is finite, and is delivered a
+// wire latency plus an ejection-port serialisation later. Protocol agents
+// use it to charge occupancy (directory access, invalidation processing)
+// to a response without suspending: the agent stays available for other
+// messages while the modeled hardware is busy, and the delay composes
+// with the wire latency exactly as a synchronous Advance before Send
+// would. The head of a remote packet never crosses shards sooner than
+// one full network latency (≥ one conservative window) in the future —
+// injection waits and extra only push it later — so SendAfter is
+// cross-shard safe for any extra. A wrapped-negative extra (unsigned
+// underflow in caller arithmetic) panics with an *Error instead of
+// silently scheduling the delivery ~2^64 cycles out.
 func (n *Network) SendAfter(p *Packet, extra sim.Time) {
 	if p.Dst < 0 || p.Dst >= len(n.endpoints) {
-		panic(fmt.Sprintf("network: send to invalid node %d", p.Dst))
+		panic(&Error{Op: "send", Node: p.Src,
+			Msg: fmt.Sprintf("destination node %d outside [0, %d)", p.Dst, len(n.endpoints))})
 	}
 	if sz := p.PayloadBytes(); sz > MaxPayloadBytes {
-		panic(fmt.Sprintf("network: packet payload %d bytes exceeds %d-byte limit", sz, MaxPayloadBytes))
+		panic(&Error{Op: "send", Node: p.Src,
+			Msg: fmt.Sprintf("packet payload %d bytes exceeds %d-byte limit", sz, MaxPayloadBytes)})
 	}
-	if extra < 0 {
-		panic("network: negative SendAfter delay")
+	if extra > maxSendDelay {
+		panic(&Error{Op: "send-after", Node: p.Src,
+			Msg: fmt.Sprintf("delay %d wrapped negative (unsigned underflow in delay arithmetic)", extra)})
 	}
 	sh := &n.sh[n.eng.ShardOf(p.Src)]
 	lat := n.latency
-	if p.Src == p.Dst {
+	local := p.Src == p.Dst
+	if local {
 		lat = n.localLatency
 		sh.stats.LocalSends++
 	}
-	sh.stats.Packets[p.VNet]++
-	sh.stats.PayloadBytes[p.VNet] += uint64(p.PayloadBytes())
+	sh.stats.VNets[p.VNet].Packets++
+	sh.stats.VNets[p.VNet].PayloadBytes += uint64(p.PayloadBytes())
 
 	q := n.alloc(sh)
 	q.Src, q.Dst, q.VNet, q.Handler = p.Src, p.Dst, p.VNet, p.Handler
 	q.Args = append(q.argStore[:0], p.Args...)
 	q.Data = append(q.dataStore[:0], p.Data...)
 	q.SentAt = n.eng.NowFor(p.Src) + extra
-	q.DeliveredAt = q.SentAt + lat
+	start := q.SentAt
+	if n.linkBW > 0 && !local {
+		// Claim the source injection port: the packet serialises onto the
+		// wire for its occupancy, behind any packet still injecting.
+		q.linkOcc = sim.Time((q.PayloadBytes() + n.linkBW - 1) / n.linkBW)
+		src := n.endpoints[p.Src]
+		if busy := src.injBusy[p.VNet]; busy > start {
+			sh.stats.VNets[p.VNet].QueueingCycles += uint64(busy - start)
+			start = busy
+		}
+		src.injBusy[p.VNet] = start + q.linkOcc
+	} else {
+		q.linkOcc = 0
+	}
+	// DeliveredAt is the head's arrival; with finite bandwidth the first
+	// Fire claims the ejection port and defers the enqueue (see
+	// Packet.Fire), so end-to-end cost is latency + serialisation +
+	// queueing. With infinite bandwidth it is the final delivery time.
+	q.DeliveredAt = start + lat
 	q.dst = n.endpoints[p.Dst]
 	n.eng.AtEventFromTo(q.DeliveredAt, q.Src, q.Dst, q)
 }

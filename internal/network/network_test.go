@@ -112,8 +112,11 @@ func TestPayloadLimitEnforced(t *testing.T) {
 			}
 			n.Send(ok)
 			defer func() {
-				if recover() == nil {
-					t.Error("oversized packet must panic")
+				nerr, okType := recover().(*Error)
+				if !okType {
+					t.Error("oversized packet must panic with *network.Error")
+				} else if nerr.Op != "send" {
+					t.Errorf("error op = %q, want send", nerr.Op)
 				}
 			}()
 			n.Send(&Packet{Src: 0, Dst: 1, Data: make([]byte, 128)})
@@ -130,14 +133,20 @@ func TestStatsAccounting(t *testing.T) {
 			n.Send(&Packet{Src: 2, Dst: 2, VNet: VNetReply})
 			c.Sleep(20)
 			s := n.Stats()
-			if s.Packets[VNetRequest] != 1 || s.Packets[VNetReply] != 2 {
-				t.Errorf("packets = %v", s.Packets)
+			if s.VNets[VNetRequest].Packets != 1 || s.VNets[VNetReply].Packets != 2 {
+				t.Errorf("packets = %+v", s.VNets)
 			}
 			if s.LocalSends != 1 {
 				t.Errorf("local sends = %d, want 1", s.LocalSends)
 			}
-			if s.PayloadBytes[VNetRequest] != 12 { // handler 4 + one arg 8
-				t.Errorf("request bytes = %d, want 12", s.PayloadBytes[VNetRequest])
+			if s.VNets[VNetRequest].PayloadBytes != 12 { // handler 4 + one arg 8
+				t.Errorf("request bytes = %d, want 12", s.VNets[VNetRequest].PayloadBytes)
+			}
+			if s.VNets[VNetRequest].QueueingCycles != 0 || s.VNets[VNetReply].QueueingCycles != 0 {
+				t.Errorf("infinite bandwidth must not queue: %+v", s.VNets)
+			}
+			if s.VNets[VNetRequest].MaxQueueDepth != 1 {
+				t.Errorf("request max queue depth = %d, want 1", s.VNets[VNetRequest].MaxQueueDepth)
 			}
 		}
 	})
@@ -224,4 +233,216 @@ func TestLatencyAccessor(t *testing.T) {
 	if n.Endpoint(0).Node() != 0 {
 		t.Fatal("endpoint node wrong")
 	}
+}
+
+func TestWrappedNegativeDelayRejected(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		return n, func(c *sim.Context) {
+			defer func() {
+				nerr, ok := recover().(*Error)
+				if !ok {
+					t.Error("wrapped-negative delay must panic with *network.Error")
+				} else if nerr.Op != "send-after" {
+					t.Errorf("error op = %q, want send-after", nerr.Op)
+				}
+			}()
+			// The classic bug: a sim.Time difference that went negative
+			// wraps to ~2^64 and used to schedule the delivery in the
+			// unreachable far future, hanging the run.
+			var base sim.Time
+			n.SendAfter(&Packet{Src: 0, Dst: 1, VNet: VNetRequest}, base-5)
+		}
+	})
+}
+
+func TestInvalidDestinationRejected(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11})
+		return n, func(c *sim.Context) {
+			defer func() {
+				if _, ok := recover().(*Error); !ok {
+					t.Error("out-of-range destination must panic with *network.Error")
+				}
+			}()
+			n.Send(&Packet{Src: 0, Dst: 7, VNet: VNetRequest})
+		}
+	})
+}
+
+// TestSendAfterZeroExtra pins the extra=0 edge: SendAfter(p, 0) must be
+// exactly Send, in both bandwidth models.
+func TestSendAfterZeroExtra(t *testing.T) {
+	for _, bw := range []int{0, 4} {
+		var got, want sim.Time
+		runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+			n := New(eng, Config{Nodes: 3, Latency: 11, LinkBytesPerCycle: bw})
+			return n, func(c *sim.Context) {
+				c.Advance(100)
+				c.Yield()
+				n.Send(&Packet{Src: 0, Dst: 2, VNet: VNetRequest})
+				n.SendAfter(&Packet{Src: 1, Dst: 2, VNet: VNetReply}, 0)
+				c.Sleep(50)
+				ep := n.Endpoint(2)
+				want = ep.Dequeue().DeliveredAt // the reply (priority)
+				got = ep.Dequeue().DeliveredAt  // the request
+			}
+		})
+		if got != want {
+			t.Errorf("bw=%d: SendAfter(p, 0) delivered at %d, Send at %d", bw, got, want)
+		}
+	}
+}
+
+// TestFiniteBandwidthSerialization pins the uncontended contended-mode
+// cost: latency plus ceil(payload/bandwidth) cycles of port time.
+func TestFiniteBandwidthSerialization(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11, LinkBytesPerCycle: 4})
+		return n, func(c *sim.Context) {
+			// handler(4) + one arg(8) = 12 bytes → ceil(12/4) = 3 cycles.
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Args: []uint64{1}})
+			c.Sleep(50)
+			p := n.Endpoint(1).Dequeue()
+			if p == nil || p.DeliveredAt != 14 {
+				t.Fatalf("delivered at %v, want 14 (11 wire + 3 serialisation)", p)
+			}
+			s := n.Stats()
+			if s.VNets[VNetRequest].QueueingCycles != 0 {
+				t.Errorf("uncontended send queued %d cycles", s.VNets[VNetRequest].QueueingCycles)
+			}
+		}
+	})
+}
+
+// TestInjectionPortQueueing: two same-cycle sends from one node share its
+// injection port, so the second serialises behind the first and the wait
+// lands in QueueingCycles.
+func TestInjectionPortQueueing(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11, LinkBytesPerCycle: 4})
+		return n, func(c *sim.Context) {
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Args: []uint64{1}, Handler: 1}) // 12 B → 3 cycles
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Args: []uint64{2}, Handler: 2}) // queues 3 cycles
+			c.Sleep(50)
+			ep := n.Endpoint(1)
+			first, second := ep.Dequeue(), ep.Dequeue()
+			if first.Handler != 1 || second.Handler != 2 {
+				t.Fatalf("order broken: %d then %d", first.Handler, second.Handler)
+			}
+			if first.DeliveredAt != 14 || second.DeliveredAt != 17 {
+				t.Errorf("delivered at %d/%d, want 14/17", first.DeliveredAt, second.DeliveredAt)
+			}
+			if q := n.Stats().VNets[VNetRequest].QueueingCycles; q != 3 {
+				t.Errorf("queueing cycles = %d, want 3", q)
+			}
+		}
+	})
+}
+
+// TestEjectionPortContention: two nodes send to the same destination in
+// the same cycle. The heads arrive together and contend for one ejection
+// port; the stable event key (origin 0 before origin 1 at equal time)
+// breaks the tie, so node 0's packet drains first at every shard count.
+func TestEjectionPortContention(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 3, Latency: 11, LinkBytesPerCycle: 4})
+		return n, func(c *sim.Context) {
+			n.Send(&Packet{Src: 0, Dst: 2, VNet: VNetRequest, Args: []uint64{1}, Handler: 10})
+			n.Send(&Packet{Src: 1, Dst: 2, VNet: VNetRequest, Args: []uint64{2}, Handler: 11})
+			c.Sleep(50)
+			ep := n.Endpoint(2)
+			first, second := ep.Dequeue(), ep.Dequeue()
+			if first.Handler != 10 || second.Handler != 11 {
+				t.Fatalf("tie-break broken: %d then %d", first.Handler, second.Handler)
+			}
+			if first.DeliveredAt != 14 || second.DeliveredAt != 17 {
+				t.Errorf("delivered at %d/%d, want 14/17", first.DeliveredAt, second.DeliveredAt)
+			}
+			if q := n.Stats().VNets[VNetRequest].QueueingCycles; q != 3 {
+				t.Errorf("queueing cycles = %d, want 3 (second head waited)", q)
+			}
+		}
+	})
+}
+
+// TestVNetPortsIndependent: the two virtual networks own separate ports,
+// so a request cannot delay a reply (the deadlock-avoidance property the
+// split exists for).
+func TestVNetPortsIndependent(t *testing.T) {
+	runWith(t, func(eng *sim.Engine) (*Network, func(*sim.Context)) {
+		n := New(eng, Config{Nodes: 2, Latency: 11, LinkBytesPerCycle: 1}) // 1 B/cycle: huge occupancy
+		return n, func(c *sim.Context) {
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Data: make([]byte, 60)})
+			n.Send(&Packet{Src: 0, Dst: 1, VNet: VNetReply, Args: []uint64{1}})
+			c.Sleep(200)
+			p := n.Endpoint(1).Dequeue()                    // reply drains first (priority)
+			if p.VNet != VNetReply || p.DeliveredAt != 23 { // 11 + 12
+				t.Errorf("reply delivered at %d on %v, want 23 despite busy request port", p.DeliveredAt, p.VNet)
+			}
+			if q := n.Stats().VNets[VNetReply].QueueingCycles; q != 0 {
+				t.Errorf("reply queued %d cycles behind a request", q)
+			}
+		}
+	})
+}
+
+// TestContentionDeliveryAcrossShards runs one send schedule — including
+// SendAfter delays that land inside, at, and past the window boundary —
+// serially and on two shards, and requires identical delivery times and
+// stats. This is the packet-level version of the harness equivalence
+// suite's contended cases.
+func TestContentionDeliveryAcrossShards(t *testing.T) {
+	type delivery struct {
+		h  uint32
+		at sim.Time
+	}
+	run := func(shards int) ([]delivery, Stats) {
+		var opts []sim.Option
+		opts = append(opts, sim.WithShards(shards, 2, 11))
+		eng := sim.NewEngine(opts...)
+		n := New(eng, Config{Nodes: 2, Latency: 11, LinkBytesPerCycle: 4})
+		var got []delivery
+		ep := n.Endpoint(1)
+		ep.Notify = func(at sim.Time) {
+			p := ep.Dequeue()
+			got = append(got, delivery{p.Handler, p.DeliveredAt})
+			n.Free(p)
+		}
+		eng.SpawnOn(0, "sender", func(c *sim.Context) {
+			for i, extra := range []sim.Time{0, 3, 10, 11, 12, 25, 0} {
+				n.SendAfter(&Packet{Src: 0, Dst: 1, VNet: VNetRequest, Handler: uint32(i), Args: []uint64{uint64(i)}}, extra)
+				c.Advance(2)
+				c.Yield()
+			}
+			c.Sleep(100)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return got, n.Stats()
+	}
+	serial, serialStats := run(1)
+	sharded, shardedStats := run(2)
+	if len(serial) == 0 {
+		t.Fatal("no deliveries")
+	}
+	if !slicesEqual(serial, sharded) {
+		t.Errorf("deliveries differ:\nserial:  %v\nsharded: %v", serial, sharded)
+	}
+	if serialStats != shardedStats {
+		t.Errorf("stats differ:\nserial:  %+v\nsharded: %+v", serialStats, shardedStats)
+	}
+}
+
+func slicesEqual[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -992,6 +992,19 @@ func (e *Engine) AtEventFromTo(t Time, origin, dest int, ev Event) {
 	e.evSeqs[origin]++
 	it := evItem{t: t, key: packedKey(origin, e.evSeqs[origin]), ev: ev}
 	if ds := e.ShardOf(dest); ds != s.id {
+		// Window-safety invariant: a cross-shard event is staged in the
+		// outbox and merged only at the next window boundary, so one
+		// scheduled inside the current window would be delivered late —
+		// silently, and differently at different shard counts. That means
+		// the caller's lookahead claim (e.g. the network latency bounding
+		// the window) is broken; fail loudly instead of corrupting
+		// determinism. s.limit is infTime on a serial engine, so the
+		// check only bites under sharded execution, where it matters.
+		if t < s.limit {
+			panic(fmt.Sprintf(
+				"sim: cross-shard event (origin %d → dest %d) at time %d inside the current window (limit %d): lookahead too small for the scheduling horizon",
+				origin, dest, t, s.limit))
+		}
 		s.outbox = append(s.outbox, outItem{sh: int32(ds), it: it})
 	} else {
 		s.events.push(it)

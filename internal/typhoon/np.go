@@ -65,6 +65,10 @@ type NP struct {
 
 	hot      npHot
 	lastFold npHot
+	// lastOccWaits/lastOccWaitCycles delta-fold the agent core's
+	// occupancy-queueing stats, like lastFold does for hot.
+	lastOccWaits      uint64
+	lastOccWaitCycles uint64
 }
 
 // faultRing is a growable power-of-two ring of pending block access
@@ -415,6 +419,10 @@ func (np *NP) fold(c *stats.Counters) {
 	c.Add("np.bulk_packets", d.bulkPackets-l.bulkPackets)
 	c.Add("typhoon.page_faults", d.pageFaults-l.pageFaults)
 	np.lastFold = d
+	w, wc := np.core.OccStats()
+	c.Add("np.occ_waits", w-np.lastOccWaits)
+	c.Add("np.occ_wait_cycles", wc-np.lastOccWaitCycles)
+	np.lastOccWaits, np.lastOccWaitCycles = w, wc
 }
 
 // ForceReadPage copies va's whole page into a fresh buffer via repeated

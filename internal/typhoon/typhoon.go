@@ -219,7 +219,7 @@ func New(m *machine.Machine, proto Protocol, opts ...Option) *System {
 	// idle" when nothing is pending, with faults as the NP's urgent work
 	// and bulk transfers as its idle work.
 	for _, np := range s.nps {
-		np.core = agent.Spawn(m.Eng, m.Net, np.node, fmt.Sprintf("np%d", np.node), "np idle", np, np)
+		np.core = agent.Spawn(m.Eng, m.Net, np.node, fmt.Sprintf("np%d", np.node), "np idle", m.Cfg.OccupancyCycles, np, np)
 		np.ctx = np.core.Ctx
 	}
 	return s
