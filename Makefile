@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench microbench bench-smoke bench-parallel digest-check profile fuzz-seeds
+.PHONY: ci vet build test race bench microbench bench-smoke bench-parallel digest-check profile fuzz-seeds conform
 
-ci: vet build race bench-smoke digest-check bench-parallel fuzz-seeds
+ci: vet build race bench-smoke digest-check bench-parallel fuzz-seeds conform
 
 vet:
 	$(GO) vet ./...
@@ -67,4 +67,15 @@ profile:
 # fuzz-seeds executes the committed seed corpora of the fuzz targets as
 # ordinary tests (no fuzzing engine; deterministic).
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/
+	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/ ./internal/trace/ ./internal/conform/
+
+# conform is the trace-replay conformance gate: verify the committed
+# corpus (manifest, decode, standalone replay, tag-machine check), then
+# run the differential protocol matrix at one shard and — under the race
+# detector — at two. `go run ./cmd/conform -record` re-records the
+# corpus on the full machine; it is covered by the package's
+# re-record tests under `make race`, so the gate here stays fast.
+conform:
+	$(GO) run ./cmd/conform
+	$(GO) run ./cmd/conform -diff -shards 1
+	$(GO) run -race ./cmd/conform -diff -shards 2

@@ -73,6 +73,15 @@ type Core struct {
 	busyUntil     sim.Time
 	occWaits      uint64
 	occWaitCycles uint64
+
+	// OnDispatch, when non-nil, observes every completed message dispatch:
+	// start is the cycle the dispatcher began (after delivery and any
+	// occupancy wait) and end the agent's clock when it returned. It runs
+	// on the agent's shard, before the packet is freed, so the callback
+	// may read the packet but must not retain it. Set before Engine.Run
+	// (the conformance recorder's tap); the dispatch path pays a nil
+	// check otherwise.
+	OnDispatch func(pkt *network.Packet, start, end sim.Time)
 }
 
 // Spawn creates node's protocol agent: a stepper daemon (named name,
@@ -132,6 +141,9 @@ func (co *Core) deliver(c *sim.Context, pkt *network.Packet) {
 	}
 	start := c.Time()
 	co.disp.DispatchMessage(c, pkt)
+	if co.OnDispatch != nil {
+		co.OnDispatch(pkt, start, c.Time())
+	}
 	// Dispatchers run to completion and copy any payload they keep, so
 	// the packet recycles the moment the dispatch returns.
 	co.net.Free(pkt)

@@ -1,0 +1,127 @@
+package conform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ManifestName is the corpus checksum file, in `sha256sum -c` format.
+const ManifestName = "MANIFEST.sha256"
+
+// TracePath is the corpus file for a pair under dir.
+func TracePath(dir string, p Pair) string {
+	return filepath.Join(dir, p.Name()+".trace")
+}
+
+// LoadStream reads and decodes one corpus file.
+func LoadStream(path string) (*Stream, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// SaveStream writes one corpus file.
+func SaveStream(path string, s *Stream) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("conform: %w", err)
+	}
+	if err := os.WriteFile(path, s.Encode(), 0o644); err != nil {
+		return fmt.Errorf("conform: %w", err)
+	}
+	return nil
+}
+
+// WriteManifest rewrites dir's manifest from the .trace files present.
+func WriteManifest(dir string) error {
+	names, err := traceNames(dir)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, name := range names {
+		sum, err := fileSHA256(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s  %s\n", sum, name)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("conform: %w", err)
+	}
+	return nil
+}
+
+// CheckManifest verifies that every .trace file in dir matches its
+// manifest entry, and that the manifest lists exactly the files present
+// — a trace added without a checksum is as much an error as a mismatch.
+func CheckManifest(dir string) error {
+	names, err := traceNames(dir)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return fmt.Errorf("conform: %w", err)
+	}
+	listed := make(map[string]string)
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		sum, name, ok := strings.Cut(line, "  ")
+		if !ok || len(sum) != 64 {
+			return fmt.Errorf("conform: %s line %d: want \"<sha256>  <file>\", got %q", ManifestName, i+1, line)
+		}
+		listed[name] = sum
+	}
+	for _, name := range names {
+		want, ok := listed[name]
+		if !ok {
+			return fmt.Errorf("conform: %s is not listed in %s (re-run cmd/conform -record -update)", name, ManifestName)
+		}
+		got, err := fileSHA256(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("conform: %s does not match its manifest checksum (corpus edited without -update?)", name)
+		}
+		delete(listed, name)
+	}
+	for name := range listed {
+		return fmt.Errorf("conform: %s lists %s, which does not exist", ManifestName, name)
+	}
+	return nil
+}
+
+func traceNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".trace") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func fileSHA256(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("conform: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,114 @@
+package conform
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+	"github.com/tempest-sim/tempest/internal/trace"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// RecordOptions tunes a recording run.
+type RecordOptions struct {
+	// Shards is the scheduler shard count to record under. Results —
+	// and therefore streams — are bit-identical at every value; the
+	// recheck tests exploit that by recording the same pair at several
+	// counts and demanding byte-equal streams.
+	Shards int
+	// Mutate and SkipVerify pass through to harness.DiffOptions: the
+	// negative tests inject a protocol bug and watch the suite catch it.
+	Mutate     func(*typhoon.System)
+	SkipVerify bool
+}
+
+// Record runs a corpus pair on the real machine with the conformance
+// taps attached and assembles the resulting stream. A recording whose
+// tracer overflowed is refused — a truncated trace must never become a
+// corpus file.
+func Record(p Pair, opt RecordOptions) (*Stream, error) {
+	cfg := p.Config()
+	cfg.Shards = opt.Shards
+	tr := trace.New(0)
+	obs, err := harness.RunObserved(cfg, p.System, p.App, harness.TinyWorkload(), harness.DiffOptions{
+		Mutate:     opt.Mutate,
+		SkipVerify: opt.SkipVerify,
+		Tracer:     tr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conform: record %s: %w", p.Name(), err)
+	}
+	if tr.Truncated() {
+		return nil, fmt.Errorf("conform: record %s: tracer truncated (%d events dropped) — raise trace.Tracer.Max, never commit a partial stream", p.Name(), tr.Dropped())
+	}
+	s := &Stream{
+		App:               p.App,
+		System:            string(p.System),
+		Workload:          "tiny",
+		Nodes:             cfg.Nodes,
+		CacheSize:         cfg.CacheSize,
+		CacheWays:         cfg.CacheWays,
+		BlockSize:         cfg.BlockSize,
+		TLBEntries:        cfg.TLBEntries,
+		LocalMissCycles:   cfg.LocalMissCycles,
+		TLBMissCycles:     cfg.TLBMissCycles,
+		NetLatency:        cfg.NetLatency,
+		BarrierLatency:    cfg.BarrierLatency,
+		LinkBytesPerCycle: cfg.LinkBytesPerCycle,
+		OccupancyCycles:   cfg.OccupancyCycles,
+		Seed:              cfg.Seed,
+		Events:            nodeMajorEvents(tr, cfg.Nodes),
+		Cycles:            obs.Res.Cycles,
+		ROICycles:         obs.Res.ROICycles,
+		MemDigest:         obs.MemDigest,
+		ProtoDigest:       obs.ProtoDigest,
+		TagsDigest:        obs.TagsDigest,
+	}
+	// Counters, name-sorted, minus the engine.* scheduler mechanics:
+	// those measure how the host executed the simulation (window counts,
+	// wakeups), not what the simulated machine did, and they may differ
+	// across shard counts while every simulated result is bit-identical.
+	for _, name := range obs.Res.Counters.Names() {
+		if strings.HasPrefix(name, "engine.") {
+			continue
+		}
+		s.Counters = append(s.Counters, Counter{Name: name, Value: obs.Res.Counters.Get(name)})
+	}
+	for i := range obs.FinalProcs {
+		s.Obs = append(s.Obs, ObsRow{Node: i, Hash: obs.FinalProcs[i], Ops: obs.FinalOps[i]})
+	}
+	return s, nil
+}
+
+// nodeMajorEvents flattens the tracer's buffers node by node, each in
+// emission order — the stream's canonical event order. Emission order,
+// not the (time, node, seq) merge, is what replay needs: a node's
+// SendAfter calls take effect on its injection port in call order, and
+// a lagging context can make that order non-monotonic in time.
+func nodeMajorEvents(tr *trace.Tracer, nodes int) []trace.Event {
+	var out []trace.Event
+	for n := 0; n < nodes; n++ {
+		out = append(out, tr.NodeEvents(n)...)
+	}
+	return out
+}
+
+// CompareStreams demands byte-identical recordings: the full-machine
+// re-record conformance check (and the shards-equivalence check) both
+// reduce to it. The error pinpoints the first divergence — header
+// field, event index, or footer line — so a protocol or engine change
+// that moves one message shows up as that message, not as a blob diff.
+func CompareStreams(want, got *Stream) error {
+	a, b := want.Encode(), got.Encode()
+	if string(a) == string(b) {
+		return nil
+	}
+	// Find the first differing line for the report.
+	al, bl := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Errorf("conform: streams diverge at line %d:\n  want: %s\n  got:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Errorf("conform: streams diverge in length: want %d lines, got %d", len(al), len(bl))
+}

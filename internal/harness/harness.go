@@ -15,6 +15,7 @@ import (
 	"github.com/tempest-sim/tempest/internal/apps/em3d"
 	"github.com/tempest-sim/tempest/internal/apps/mp3d"
 	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/blizzard"
 	"github.com/tempest-sim/tempest/internal/dirnnb"
 	"github.com/tempest-sim/tempest/internal/machine"
 	"github.com/tempest-sim/tempest/internal/network"
@@ -28,9 +29,10 @@ type System string
 
 // Target systems.
 const (
-	SysDirNNB System = "dirnnb"
-	SysStache System = "typhoon-stache"
-	SysUpdate System = "typhoon-update" // EM3D only
+	SysDirNNB   System = "dirnnb"
+	SysStache   System = "typhoon-stache"
+	SysUpdate   System = "typhoon-update" // EM3D only
+	SysBlizzard System = "blizzard"       // software Tempest running Stache
 )
 
 // RunResult is one benchmark execution.
@@ -73,8 +75,10 @@ func Run(cfg machine.Config, system System, app apps.App) (result RunResult, err
 	case SysStache:
 		st = stache.New()
 		typhoon.New(m, st)
+	case SysBlizzard:
+		_, st = blizzard.NewStache(m, blizzard.Config{})
 	default:
-		return RunResult{}, fmt.Errorf("harness: unknown system %q (want dirnnb or typhoon-stache; the custom protocol runs via RunEM3DUpdate)", system)
+		return RunResult{}, fmt.Errorf("harness: unknown system %q (want dirnnb, typhoon-stache, or blizzard; the custom protocol runs via RunEM3DUpdate)", system)
 	}
 	app.Setup(m)
 	res, err := m.Run(app.Body)

@@ -60,6 +60,11 @@ type Proc struct {
 	// max while each mark is written only by its own context (shard).
 	roiStart, roiEnd sim.Time
 
+	// obs, when non-nil, accumulates the processor's application-visible
+	// memory history (see Observation). Nil unless
+	// Machine.EnableObservation ran; the data ops pay one nil check.
+	obs *Observation
+
 	Stats ProcStats
 }
 
@@ -198,18 +203,28 @@ func (p *Proc) access(va mem.VA, write bool) mem.PA {
 // address va and returns the value.
 func (p *Proc) ReadU64(va mem.VA) uint64 {
 	pa := p.access(va, false)
-	return p.m.Mems[pa.Node()].ReadU64(pa)
+	v := p.m.Mems[pa.Node()].ReadU64(pa)
+	if p.obs != nil {
+		p.obs.note(obsRead, va, v)
+	}
+	return v
 }
 
 // WriteU64 performs a tag-checked 8-byte store.
 func (p *Proc) WriteU64(va mem.VA, v uint64) {
 	pa := p.access(va, true)
 	p.m.Mems[pa.Node()].WriteU64(pa, v)
+	if p.obs != nil {
+		p.obs.note(obsWrite, va, v)
+	}
 }
 
 // ReadF64 performs a tag-checked float64 load.
 func (p *Proc) ReadF64(va mem.VA) float64 {
 	pa := p.access(va, false)
+	if p.obs != nil {
+		p.obs.note(obsRead, va, p.m.Mems[pa.Node()].ReadU64(pa))
+	}
 	return p.m.Mems[pa.Node()].ReadF64(pa)
 }
 
@@ -217,12 +232,22 @@ func (p *Proc) ReadF64(va mem.VA) float64 {
 func (p *Proc) WriteF64(va mem.VA, v float64) {
 	pa := p.access(va, true)
 	p.m.Mems[pa.Node()].WriteF64(pa, v)
+	if p.obs != nil {
+		p.obs.note(obsWrite, va, p.m.Mems[pa.Node()].ReadU64(pa))
+	}
 }
 
 // Touch performs a tag-checked reference without transferring data; apps
 // use it where only the coherence traffic of an access matters.
 func (p *Proc) Touch(va mem.VA, write bool) {
 	p.access(va, write)
+	if p.obs != nil {
+		kind := obsTouchRead
+		if write {
+			kind = obsTouchWrite
+		}
+		p.obs.note(kind, va, 0)
+	}
 }
 
 func (p *Proc) foldCounters(c *stats.Counters) {

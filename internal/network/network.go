@@ -137,6 +137,9 @@ func (p *Packet) Fire() {
 	p.ejected = false
 	p.linkOcc = 0
 	p.dst = nil
+	if dst.net.OnDeliver != nil {
+		dst.net.OnDeliver(p)
+	}
 	dst.queues[p.VNet].push(p)
 	if dst.Notify != nil {
 		dst.Notify(p.DeliveredAt)
@@ -258,6 +261,22 @@ type Network struct {
 	localLatency sim.Time
 	linkBW       int // bytes per cycle per port; 0 = infinite bandwidth
 	endpoints    []*Endpoint
+
+	// OnSend, when non-nil, observes every injected packet (the pooled
+	// copy, before it can fire) at issue time: issued is the sender's
+	// clock when Send/SendAfter was called and extra the SendAfter delay,
+	// so issued+extra is the packet's SentAt. The callback runs on the
+	// sender's shard while holding the conch; it must not retain the
+	// packet. Set before Engine.Run (the conformance recorder's tap) —
+	// the hot path pays a nil check otherwise.
+	OnSend func(p *Packet, issued, extra sim.Time)
+	// OnDeliver, when non-nil, observes every packet as it is enqueued
+	// at its destination endpoint — after the wire latency and, with
+	// finite bandwidth, the ejection-port serialisation, so
+	// p.DeliveredAt is final. It runs on the destination's shard during
+	// event processing and must not retain the packet. Set before
+	// Engine.Run (the conformance recorder's arrival tap).
+	OnDeliver func(p *Packet)
 	// sh holds the per-shard dataplane state: traffic counters (bumped at
 	// send time, on the sender's shard) and the pooled-packet free list
 	// (packets are allocated on the sender's shard and freed on the
@@ -454,7 +473,11 @@ func (n *Network) SendAfter(p *Packet, extra sim.Time) {
 	q.Src, q.Dst, q.VNet, q.Handler = p.Src, p.Dst, p.VNet, p.Handler
 	q.Args = append(q.argStore[:0], p.Args...)
 	q.Data = append(q.dataStore[:0], p.Data...)
-	q.SentAt = n.eng.NowFor(p.Src) + extra
+	issued := n.eng.NowFor(p.Src)
+	q.SentAt = issued + extra
+	if n.OnSend != nil {
+		n.OnSend(q, issued, extra)
+	}
 	start := q.SentAt
 	if n.linkBW > 0 && !local {
 		// Claim the source injection port: the packet serialises onto the

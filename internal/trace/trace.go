@@ -25,7 +25,12 @@ import (
 // Kind classifies an event.
 type Kind uint8
 
-// Event kinds.
+// Event kinds. KMsgSend/KMsgRecv are the protocol-level view (a Typhoon
+// NP issuing or dispatching a message, before costs); KNetSend and
+// KNetDeliver are the network-level view recorded by the conformance
+// taps (network.Network.OnSend, agent.Core.OnDispatch) — they exist for
+// every protocol, DirNNB included, and carry enough detail (packed into
+// Aux, see PackMsg) to re-issue the message stream standalone.
 const (
 	KBlockFault Kind = iota
 	KPageFault
@@ -33,6 +38,20 @@ const (
 	KMsgRecv
 	KResume
 	KTagChange
+	// KNetSend is a packet handed to the network: T is the cycle the
+	// sender issued it (before any SendAfter delay), VA holds that delay
+	// (the SendAfter extra), and Aux is PackMsg of the packet.
+	KNetSend
+	// KNetDeliver is a packet dispatched by a protocol agent: T is the
+	// cycle the dispatch started (after occupancy waits), VA holds the
+	// service time the dispatch consumed, and Aux is PackMsg.
+	KNetDeliver
+	// KNetArrive is a packet enqueued at its destination endpoint: T is
+	// the delivery time (after any ejection-port serialisation), VA is
+	// zero, and Aux is PackMsg. The arrival schedule is fully determined
+	// by the send stream, so a replay reproduces it cycle-exact for
+	// every protocol.
+	KNetArrive
 )
 
 func (k Kind) String() string {
@@ -49,8 +68,33 @@ func (k Kind) String() string {
 		return "resume"
 	case KTagChange:
 		return "tag-change"
+	case KNetSend:
+		return "net-send"
+	case KNetDeliver:
+		return "net-deliver"
+	case KNetArrive:
+		return "net-arrive"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// PackMsg packs a packet's identity for a KNetSend/KNetDeliver Aux:
+// handler ID (16 bits), source and destination node (12 bits each), the
+// virtual network (1 bit), and the payload size in bytes (8 bits — the
+// network caps payloads at 80). Values outside those widths panic: the
+// encoding is part of the committed-corpus format and must not alias.
+func PackMsg(handler uint32, src, dst int, vnet uint8, bytes int) uint64 {
+	if handler >= 1<<16 || src < 0 || src >= 1<<12 || dst < 0 || dst >= 1<<12 || vnet > 1 || bytes < 0 || bytes >= 1<<8 {
+		panic(fmt.Sprintf("trace: PackMsg field out of range (handler=%d src=%d dst=%d vnet=%d bytes=%d)",
+			handler, src, dst, vnet, bytes))
+	}
+	return uint64(handler) | uint64(src)<<16 | uint64(dst)<<28 | uint64(vnet)<<40 | uint64(bytes)<<41
+}
+
+// UnpackMsg reverses PackMsg.
+func UnpackMsg(aux uint64) (handler uint32, src, dst int, vnet uint8, bytes int) {
+	return uint32(aux & 0xFFFF), int(aux >> 16 & 0xFFF), int(aux >> 28 & 0xFFF),
+		uint8(aux >> 40 & 1), int(aux >> 41 & 0xFF)
 }
 
 // Event is one recorded protocol event.
@@ -79,6 +123,16 @@ type nodeBuf struct {
 // filter. The cap is divided evenly across the node buffers (at least
 // one event per node), so which events survive a tight cap does not
 // depend on the shard count.
+//
+// Cap behaviour at the buffer boundary: when a node's buffer reaches its
+// per-node share of Max, every later emission for that node — including
+// mid-window ones under sharded execution — is counted in Dropped and
+// discarded; the events already captured are kept (oldest-kept policy).
+// The merged stream is then a prefix per node, not a prefix in global
+// time: other nodes keep recording, so the merge interleaves complete
+// and truncated nodes. Consumers that need a complete stream (replay,
+// the conformance corpus) must check Truncated and refuse the trace
+// rather than replaying a silently-partial recording.
 //
 // A Tracer belongs to exactly one simulated machine: call Prepare with
 // the machine's node count before the run (typhoon.New does this for
@@ -196,6 +250,23 @@ func (t *Tracer) Events() []Event {
 	return t.merged
 }
 
+// NodeEvents returns one node's events in emission order — the order
+// the node's contexts actually made the recorded calls, which is the
+// order replay must re-issue them in. It is NOT the merged (time, node,
+// seq) order restricted to the node: a context can run with a clock
+// lagging its neighbours' (it was unparked mid-window and has not
+// synced yet), so a node's emission times are not monotonic, and
+// sorting by time would reorder calls whose side effects (injection-
+// port claims) happen in call order. The returned slice is the live
+// buffer: do not mutate, and do not hold it across Reset. Nodes beyond
+// the prepared count return nil.
+func (t *Tracer) NodeEvents(node int) []Event {
+	if node < 0 || node >= len(t.bufs) {
+		return nil
+	}
+	return t.bufs[node].events
+}
+
 // Dropped reports how many events the cap discarded, over all nodes.
 func (t *Tracer) Dropped() uint64 {
 	var d uint64
@@ -204,6 +275,12 @@ func (t *Tracer) Dropped() uint64 {
 	}
 	return d
 }
+
+// Truncated reports whether the cap discarded any event — i.e. whether
+// the merged stream is incomplete. A truncated trace must not be used as
+// a replay corpus: at least one node's tail is missing, so the recorded
+// message schedule no longer matches what the run actually did.
+func (t *Tracer) Truncated() bool { return t.Dropped() > 0 }
 
 // Reset clears the trace, keeping all backing storage.
 func (t *Tracer) Reset() {

@@ -269,6 +269,12 @@ func (np *NP) SetTag(va mem.VA, t mem.Tag) {
 func (np *NP) Invalidate(va mem.VA) {
 	pa := np.mustTranslate(va)
 	np.chargeTagOp(pa)
+	if np.sys.tracer != nil {
+		// Traced like SetTag: with both paths emitting, the trace's
+		// per-block KTagChange stream is the complete tag history, which
+		// is what the conformance suite's MSI transition checker assumes.
+		np.sys.tracer.Emit(trace.Event{T: np.ctx.Time(), Node: np.node, Kind: trace.KTagChange, VA: va, Aux: uint64(mem.TagInvalid)})
+	}
 	np.Mem().SetTag(pa, mem.TagInvalid)
 	np.sys.M.Caches[np.node].Invalidate(pa)
 }

@@ -265,6 +265,29 @@ func (s *System) RegisterHandler(id uint32, h Handler) {
 	s.handlers[id] = h
 }
 
+// WrapHandler replaces an already-registered message handler with
+// wrap(existing). It exists for instrumentation and fault injection —
+// the conformance suite's negative tests wrap a Stache handler to
+// corrupt payloads and charge extra cycles, proving the replay and
+// differential layers catch a buggy protocol. Like RegisterHandler it
+// must be called before Engine.Run: the handler table is read from
+// every shard once messages flow. Wrapping an unregistered ID panics.
+func (s *System) WrapHandler(id uint32, wrap func(Handler) Handler) {
+	h, ok := s.handlers[id]
+	if !ok {
+		panic(fmt.Sprintf("typhoon: WrapHandler on unregistered handler id %d", id))
+	}
+	s.handlers[id] = wrap(h)
+}
+
+// HasHandler reports whether a message handler is registered under id —
+// the guard a WrapHandler caller needs when instrumenting a handler that
+// only some protocols install.
+func (s *System) HasHandler(id uint32) bool {
+	_, ok := s.handlers[id]
+	return ok
+}
+
 // RegisterPageMode installs the fault handlers for a page mode.
 func (s *System) RegisterPageMode(mode int, ops PageModeOps) {
 	if mode == vm.ModePrivate {
