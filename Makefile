@@ -51,12 +51,16 @@ digest-check:
 	$(GO) run ./cmd/bench -shards "$${SHARDS:-1}" -link-bw 4 -occupancy 20 -check testdata/bench_contended.digest
 
 # bench-parallel is the sharded-execution smoke: the same digest gates
-# with every simulation split across two scheduler goroutines. Identical
-# output is the determinism guarantee of the windowed engine, contention
-# model included.
+# with every simulation split across two and four scheduler shards.
+# Identical output is the determinism guarantee of the windowed engine —
+# adaptive lookahead planning and contention model included. Four shards
+# exercises the planner's two-smallest base scan off its degenerate
+# 2-shard case and the multi-token grant path.
 bench-parallel:
 	$(GO) run ./cmd/bench -shards 2 -check testdata/bench.digest
 	$(GO) run ./cmd/bench -shards 2 -link-bw 4 -occupancy 20 -check testdata/bench_contended.digest
+	$(GO) run ./cmd/bench -shards 4 -check testdata/bench.digest
+	$(GO) run ./cmd/bench -shards 4 -link-bw 4 -occupancy 20 -check testdata/bench_contended.digest
 
 # profile runs the bench sweep under the CPU and allocation profilers;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

@@ -168,6 +168,16 @@ func main() {
 			ds.InlineDispatches, ds.InlineSuspends, ds.ParksAvoided,
 			ds.StepperFallbacks, ds.GoroutineSwitches)
 	}
+	// How the sharded engines granted execution windows (zero when every
+	// run was serial): adaptive lookahead batches several base windows
+	// into one grant, so fewer, wider grants mean less coordination per
+	// simulated cycle. Scheduler mechanics only, like the dispatch line.
+	if ws := sim.FleetWindowStats(); ws.Grants > 0 {
+		fmt.Fprintf(os.Stderr,
+			"bench: windows: %d grants, %d batched (%.1f%%), mean width %.1f cycles\n",
+			ws.Grants, ws.Batched, 100*float64(ws.Batched)/float64(ws.Grants),
+			float64(ws.WidthCycles)/float64(ws.Grants))
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

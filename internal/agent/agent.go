@@ -130,6 +130,13 @@ func (co *Core) OccStats() (waits, waitCycles uint64) {
 	return co.occWaits, co.occWaitCycles
 }
 
+// deliver services one delivered packet: sync to the delivery instant,
+// wait out any residual occupancy, dispatch, recycle. Everything here —
+// the occupancy wait included — only moves the agent's local clock
+// forward from the delivery time, so busy-until state never lets a
+// reply leave earlier than the network's minimum cross-shard delivery
+// promises: the engine's adaptive window bounds stay sound with the
+// occupancy model enabled.
 func (co *Core) deliver(c *sim.Context, pkt *network.Packet) {
 	c.SyncTo(pkt.DeliveredAt) // the agent was waiting, not time-travelling
 	if co.occ > 0 && co.busyUntil > c.Time() {

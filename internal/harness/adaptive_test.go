@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/stache"
+	"github.com/tempest-sim/tempest/internal/trace"
+	"github.com/tempest-sim/tempest/internal/typhoon"
+)
+
+// TestAdaptiveVsFixedWindows is the adaptive planner's A/B equivalence
+// proof: the same sharded workload with adaptive lookahead windows and
+// with the legacy fixed lockstep plan must produce identical results —
+// total and ROI cycles, network traffic, and every counter in both
+// directions except the engine.window.* group, which describes the
+// window plan itself and differs by design (that is the optimisation).
+// Together with TestShardedVsSerialEquivalence (serial vs adaptive
+// sharded) this pins the full triangle serial = fixed = adaptive. The
+// contended cases repeat the proof with finite link bandwidth and agent
+// occupancy charged, where delivery times — but never their lower bound
+// — depend on queueing.
+func TestAdaptiveVsFixedWindows(t *testing.T) {
+	cases := []struct {
+		name      string
+		app       string
+		sys       System
+		contended bool
+	}{
+		{"em3d-stache", "em3d", SysStache, false},
+		{"ocean-stache", "ocean", SysStache, false},
+		{"em3d-dirnnb", "em3d", SysDirNNB, false},
+		{"ocean-dirnnb", "ocean", SysDirNNB, false},
+		{"em3d-blizzard", "em3d", SysBlizzard, false},
+		{"ocean-blizzard", "ocean", SysBlizzard, false},
+		{"em3d-stache-contended", "em3d", SysStache, true},
+		{"ocean-dirnnb-contended", "ocean", SysDirNNB, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shards := range []int{2, 4} {
+				adaptive := windowModeRun(t, tc.app, tc.sys, shards, tc.contended, false)
+				fixed := windowModeRun(t, tc.app, tc.sys, shards, tc.contended, true)
+				compareWindowModes(t, shards, adaptive, fixed)
+			}
+		})
+	}
+}
+
+// TestAdaptiveVsFixedEM3DUpdate repeats the A/B proof for the custom
+// EM3D update protocol (NP-to-NP pushes, fuzzy barrier), whose sends
+// are the zero-pre-charge case the planner's lookahead claim leans on.
+func TestAdaptiveVsFixedEM3DUpdate(t *testing.T) {
+	run := func(shards int, fixedWin bool) machine.Result {
+		cfg := MachineConfig(ScaleReduced, 16<<10)
+		cfg.Shards = shards
+		cfg.FixedWindow = fixedWin
+		rr, err := RunEM3DUpdate(cfg, EM3DConfig(ScaleReduced, SetSmall))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr.Res
+	}
+	for _, shards := range []int{2, 4} {
+		compareWindowModes(t, shards, run(shards, false), run(shards, true))
+	}
+}
+
+// TestAdaptiveVsFixedTracing compares the merged trace event streams of
+// an adaptive and a fixed-window sharded run: the strongest observable —
+// every protocol event, timestamped and ordered — must be byte-identical,
+// so window placement is invisible even at full instrumentation.
+func TestAdaptiveVsFixedTracing(t *testing.T) {
+	runTraced := func(shards int, fixedWin bool) []trace.Event {
+		app, err := MakeApp("em3d", ScaleReduced, SetSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := MachineConfig(ScaleReduced, 16<<10)
+		cfg.Shards = shards
+		cfg.FixedWindow = fixedWin
+		m := machine.New(cfg)
+		tr := trace.New(0)
+		typhoon.New(m, stache.New(), typhoon.WithTracer(tr))
+		app.Setup(m)
+		if _, err := m.Run(app.Body); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]trace.Event, len(tr.Events()))
+		copy(out, tr.Events())
+		return out
+	}
+	for _, shards := range []int{2, 4} {
+		adaptive := runTraced(shards, false)
+		fixed := runTraced(shards, true)
+		if len(adaptive) == 0 {
+			t.Fatalf("shards=%d: adaptive run traced no events", shards)
+		}
+		if len(adaptive) != len(fixed) {
+			t.Fatalf("shards=%d: adaptive traced %d events, fixed %d", shards, len(adaptive), len(fixed))
+		}
+		for i := range adaptive {
+			if adaptive[i] != fixed[i] {
+				t.Fatalf("shards=%d: event %d adaptive %+v, fixed %+v", shards, i, adaptive[i], fixed[i])
+			}
+		}
+	}
+}
+
+// windowModeRun executes one benchmark at the given shard count with the
+// window planner in adaptive or fixed mode, contended or ideal.
+func windowModeRun(t *testing.T, app string, sys System, shards int, contended, fixedWin bool) machine.Result {
+	t.Helper()
+	a, err := MakeApp(app, ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := 16 << 10
+	if contended {
+		cache = 4 << 10
+	}
+	cfg := MachineConfig(ScaleReduced, cache)
+	cfg.Shards = shards
+	cfg.FixedWindow = fixedWin
+	if contended {
+		cfg.LinkBytesPerCycle = 4
+		cfg.OccupancyCycles = 20
+	}
+	rr, err := Run(cfg, sys, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr.Res
+}
+
+// compareWindowModes asserts two runs are identical in everything but
+// the engine.window.* planner telemetry.
+func compareWindowModes(t *testing.T, shards int, adaptive, fixed machine.Result) {
+	t.Helper()
+	if adaptive.Cycles != fixed.Cycles {
+		t.Errorf("shards=%d: adaptive cycles %d, fixed %d", shards, adaptive.Cycles, fixed.Cycles)
+	}
+	if adaptive.ROICycles != fixed.ROICycles {
+		t.Errorf("shards=%d: adaptive ROI cycles %d, fixed %d", shards, adaptive.ROICycles, fixed.ROICycles)
+	}
+	if adaptive.Net != fixed.Net {
+		t.Errorf("shards=%d: adaptive network stats %+v, fixed %+v", shards, adaptive.Net, fixed.Net)
+	}
+	a, f := adaptive.Counters.Snapshot(), fixed.Counters.Snapshot()
+	for name, av := range a {
+		if strings.HasPrefix(name, "engine.window.") {
+			continue
+		}
+		if fv, ok := f[name]; !ok || fv != av {
+			t.Errorf("shards=%d: counter %s: adaptive %d, fixed %d", shards, name, av, fv)
+		}
+	}
+	for name := range f {
+		if strings.HasPrefix(name, "engine.window.") {
+			continue
+		}
+		if _, ok := a[name]; !ok {
+			t.Errorf("shards=%d: counter %s only present in fixed mode", shards, name)
+		}
+	}
+}

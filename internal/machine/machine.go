@@ -70,11 +70,18 @@ type Config struct {
 	GoroutineDispatch bool
 	// Shards runs the simulation itself in parallel: nodes are
 	// partitioned across this many scheduler goroutines executing
-	// conservative time windows of min(NetLatency, BarrierLatency)
-	// cycles — the machine's cross-node interaction latency floor.
-	// Results are bit-identical for every value. Zero means 1 (serial);
-	// values outside [1, Nodes] are rejected by New.
+	// conservative time windows. The engine plans adaptive per-shard
+	// windows bounded below by min(NetLatency, BarrierLatency) cycles —
+	// the machine's cross-node interaction latency floor. Results are
+	// bit-identical for every value. Zero means 1 (serial); values
+	// outside [1, Nodes] are rejected by New.
 	Shards int
+	// FixedWindow pins every shard window to the legacy fixed
+	// min(NetLatency, BarrierLatency) lockstep grant instead of the
+	// adaptive per-shard bounds. Results are bit-identical either way;
+	// the flag exists for A/B equivalence tests and overhead
+	// measurement.
+	FixedWindow bool
 }
 
 // DefaultConfig returns the Table 2 parameters: 32 nodes, 256 KB 4-way
@@ -223,7 +230,16 @@ func New(cfg Config) *Machine {
 	if cfg.BarrierLatency < window {
 		window = cfg.BarrierLatency
 	}
-	engOpts = append(engOpts, sim.WithShards(cfg.Shards, cfg.Nodes, window))
+	engOpts = append(engOpts, sim.WithShards(cfg.Shards, cfg.Nodes, window),
+		// The adaptive planner's lookahead: only the network delivers
+		// cross-shard events (barrier arrivals merge separately), so its
+		// earliest contended delivery — the wire latency — bounds every
+		// cross-shard event's distance, even when the barrier latency
+		// pulls the base window below it.
+		sim.WithCrossShardDelivery(netCfg.MinCrossShardDelivery()))
+	if cfg.FixedWindow {
+		engOpts = append(engOpts, sim.WithFixedWindows())
+	}
 	eng := sim.NewEngine(engOpts...)
 	m := &Machine{
 		Cfg: cfg,
@@ -353,9 +369,11 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 	res.Counters.Add("net.max_queue.request", res.Net.VNets[network.VNetRequest].MaxQueueDepth)
 	res.Counters.Add("net.max_queue.reply", res.Net.VNets[network.VNetReply].MaxQueueDepth)
 	// Engine dispatch counters: how protocol activations were hosted.
-	// These describe simulator mechanics, not simulated behaviour — they
-	// are excluded from result-equivalence comparisons (the two dispatch
-	// hosts trivially differ in them while agreeing on everything else).
+	// These describe simulator mechanics, not simulated behaviour —
+	// equivalence tests that compare across dispatch hosts (inline vs
+	// goroutine) exclude them, while the serial-vs-sharded tests compare
+	// them too, since each shard's sub-schedule is the serial schedule
+	// restricted to its nodes.
 	ds := m.Eng.DispatchStats()
 	res.Counters.Add("engine.inline_dispatches", ds.InlineDispatches)
 	res.Counters.Add("engine.inline_steps", ds.InlineSteps)
@@ -364,5 +382,17 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 	res.Counters.Add("engine.goroutine_switches", ds.GoroutineSwitches)
 	res.Counters.Add("engine.stepper_fallbacks", ds.StepperFallbacks)
 	res.Counters.Add("engine.parks_avoided", ds.ParksAvoided)
+	// Window-grant counters: how the sharded scheduler batched execution
+	// windows. Unlike the dispatch counters above — identical for every
+	// shard count — these depend on the shard count and window planner by
+	// nature (a serial run grants none), so equivalence tests skip the
+	// engine.window. prefix when comparing counter maps.
+	ws := m.Eng.WindowStats()
+	res.Counters.Add("engine.window.grants", ws.Grants)
+	res.Counters.Add("engine.window.batched", ws.Batched)
+	res.Counters.Add("engine.window.width_cycles", ws.WidthCycles)
+	if ws.Grants > 0 {
+		res.Counters.Add("engine.window.mean_width", ws.WidthCycles/ws.Grants)
+	}
 	return res, nil
 }

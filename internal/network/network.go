@@ -325,6 +325,15 @@ type Config struct {
 // on the destination's shard after the head arrives), so the bound — and
 // with it the conservative shard window — is the same with or without
 // finite bandwidth.
+//
+// This is also the earliest-send bound the engine's adaptive window
+// planner consumes (sim.WithCrossShardDelivery): every cross-shard
+// delivery the network schedules lands at least this far past the
+// sender's clock, so a shard whose peers have nothing pending before
+// time T cannot be affected before T + MinCrossShardDelivery. The
+// engine's window-safety assertion re-checks the claim on every
+// cross-shard event, so a timing-model change that broke it would fail
+// loudly rather than corrupt determinism.
 func (c Config) MinCrossShardDelivery() sim.Time { return c.Latency }
 
 // New builds a network.

@@ -68,8 +68,15 @@ func (b *Barrier) Arrive(c *Context) {
 	if b.staged != nil {
 		// Sharded: stage the arrival for the coordinator and park. The
 		// release (at the boundary) recomputes maxTime from the staged
-		// arrivals, so nothing else is recorded here.
+		// arrivals, so nothing else is recorded here. The window planner
+		// lower-bounds the release from the non-daemon contexts that have
+		// not yet arrived, so daemons may not participate — a daemon's
+		// arrival would be invisible to the bound.
+		if c.daemon {
+			panic(fmt.Sprintf("sim: daemon context %q arrived at a sharded barrier", c.name))
+		}
 		b.staged[c.sh.id] = append(b.staged[c.sh.id], c)
+		c.atBarrier = b
 		c.Park(fmt.Sprintf("barrier(%d)", b.n))
 		return
 	}
@@ -123,7 +130,11 @@ func (b *Barrier) mergeStaged() {
 		// Unpark from the coordinator: every shard's conch is parked
 		// here between windows, so pushing the context onto its shard's
 		// runnable heap is safe, and the runnable key (release, prio,
-		// id) matches the serial release exactly.
+		// id) matches the serial release exactly. The release time is
+		// never below any limit the planner has granted — every granted
+		// bound is capped by releaseLB, which lower-bounds this very
+		// value — so no shard's processed frontier has passed it.
+		w.atBarrier = nil
 		w.Unpark(release)
 	}
 	b.waiting = b.waiting[:0]

@@ -34,16 +34,22 @@
 //
 // With WithShards the engine partitions its origins (simulated nodes)
 // across shards, each with its own clock, runnable heap, and event heap,
-// and runs them concurrently in conservative time windows: a central
-// coordinator grants every shard the window [M, M+W), where M is the
-// earliest pending item machine-wide and W is the configured lookahead
-// (the minimum cross-shard interaction latency — for the paper's machine,
-// the 11-cycle network and barrier latencies). Within a window a shard's
-// nodes cannot be affected by another shard — every cross-shard
-// interaction is a timed event at least W cycles in the future — so the
-// shards execute independently; at the boundary the coordinator merges
-// cross-shard events (the per-shard outboxes) and barrier arrivals, picks
-// the next window, and repeats.
+// and runs them concurrently in conservative time windows. Each round
+// grants every shard a window up to an adaptive per-shard bound — the
+// earliest instant anything another shard does from here on could
+// possibly affect it, derived from the other shards' earliest pending
+// items plus the guaranteed cross-shard delivery latency
+// (WithCrossShardDelivery) and a lower bound on the next barrier release
+// (see planRound) — and never narrower than the legacy fixed window
+// [M, M+W), W the configured base lookahead (for the paper's machine,
+// the 11-cycle network and barrier latencies). Within its window a
+// shard's nodes cannot be affected by another shard — every cross-shard
+// interaction is a timed event past the granted bound — so the shards
+// execute independently. Rounds have no dedicated coordinator: the last
+// shard to exhaust its window merges cross-shard events (the per-shard
+// outboxes) and barrier arrivals at the boundary, plans the next round's
+// bounds, grants the other shards, and keeps running its own window
+// inline (windowBoundary/runRound).
 //
 // Determinism survives sharding because every ordering the simulation can
 // observe is a strict total order independent of the partitioning: events
@@ -66,6 +72,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -150,6 +158,12 @@ type Context struct {
 	parkReason    string
 	pendingUnpark bool
 	pendingAt     Time
+
+	// atBarrier is the sharded barrier this context is waiting at (nil
+	// otherwise). The window planner uses it to tell barrier waiters —
+	// woken only by the barrier's merged release — from contexts that may
+	// still arrive, when lower-bounding the release time.
+	atBarrier *Barrier
 
 	resumeCh chan struct{}
 	body     func(*Context)
@@ -255,11 +269,36 @@ func (d *DispatchStats) add(o DispatchStats) {
 	d.InlineSuspends += o.InlineSuspends
 }
 
+// WindowStats counts how the sharded scheduler granted execution
+// windows. All zero on a serial engine (no windows exist) and under any
+// fixed/adaptive planner the simulated results are identical — the
+// counters describe scheduler mechanics, like DispatchStats.
+type WindowStats struct {
+	// Grants counts per-shard window grants: each round grants every
+	// shard with work inside its bound one window.
+	Grants uint64
+	// Batched counts grants at least two base windows wide — rounds
+	// where adaptive planning handed a shard multiple legacy windows in
+	// one grant.
+	Batched uint64
+	// WidthCycles is the total granted width in simulated cycles (the
+	// distance from each granted shard's next pending item to its
+	// bound); WidthCycles/Grants is the mean granted width.
+	WidthCycles uint64
+}
+
+func (w *WindowStats) add(o WindowStats) {
+	w.Grants += o.Grants
+	w.Batched += o.Batched
+	w.WidthCycles += o.WidthCycles
+}
+
 // fleet aggregates dispatch stats across every engine in the process
 // (atomically, so parallel harness workers may fold concurrently);
 // cmd/bench reports it after a sweep.
 var fleet struct {
 	inline, switches, fallbacks, parks, steps, gsteps, suspends atomic.Uint64
+	wgrants, wbatched, wwidth                                   atomic.Uint64
 }
 
 // FleetDispatchStats returns the process-wide dispatch totals across all
@@ -273,6 +312,16 @@ func FleetDispatchStats() DispatchStats {
 		InlineSteps:       fleet.steps.Load(),
 		GoroutineSteps:    fleet.gsteps.Load(),
 		InlineSuspends:    fleet.suspends.Load(),
+	}
+}
+
+// FleetWindowStats returns the process-wide window-grant totals across
+// all engines that have finished Run.
+func FleetWindowStats() WindowStats {
+	return WindowStats{
+		Grants:      fleet.wgrants.Load(),
+		Batched:     fleet.wbatched.Load(),
+		WidthCycles: fleet.wwidth.Load(),
 	}
 }
 
@@ -325,14 +374,17 @@ type shard struct {
 
 	// Windowed-execution state. limit is the current window's end (items
 	// at or past it wait for a later window; infTime in serial mode).
-	// outbox stages events destined for other shards. grantCh/doneCh are
-	// the coordinator handshake; granted is coordinator-local bookkeeping
-	// for window grants.
+	// base is the shard's earliest pending item as of the last boundary
+	// (merger-local planning state). outbox stages events destined for
+	// other shards. grantCh carries the window token: the merger writes
+	// every shard's limit while it owns all shard state, then sends one
+	// token per granted shard (the channel send is the happens-before
+	// edge that publishes the limit). A closed grantCh ends the shard's
+	// run.
 	limit   Time
+	base    Time
 	outbox  []outItem
-	grantCh chan Time
-	doneCh  chan struct{}
-	granted bool
+	grantCh chan struct{}
 }
 
 // clock returns the shard's current time: the running context's local
@@ -368,12 +420,19 @@ func (s *shard) nextTime() Time {
 
 // Engine schedules contexts and timed events in global cycle order.
 type Engine struct {
-	quantum  Time
-	window   Time // cross-shard lookahead; windows are [M, M+window)
-	origins  int  // number of event origins (simulated nodes)
-	nshards  int
-	contexts []*Context
-	sh       []*shard
+	quantum Time
+	window  Time // base cross-shard lookahead; the minimum window width
+	// minDelivery is the guaranteed minimum latency of a cross-shard
+	// event (WithCrossShardDelivery): every AtEventFromTo crossing a
+	// shard boundary fires at least this many cycles after the caller's
+	// clock. It is the lookahead LA of the adaptive window planner;
+	// defaults to window.
+	minDelivery Time
+	fixedWindow bool // disable adaptive planning (A/B validation)
+	origins     int  // number of event origins (simulated nodes)
+	nshards     int
+	contexts    []*Context
+	sh          []*shard
 
 	// Event tie-break state. Events carry a stable key (time, origin,
 	// per-origin sequence): evSeqs[i] counts events scheduled by origin i
@@ -394,6 +453,41 @@ type Engine struct {
 	finished bool
 
 	barriers []*Barrier // sharded barriers merged at window boundaries
+
+	// Floating-coordinator state (sharded runs). There is no dedicated
+	// coordinator goroutine: outstanding counts granted shards still
+	// inside their windows, and the shard whose decrement reaches zero
+	// becomes the round's merger — it merges the boundary, plans the next
+	// round's limits for every shard, publishes outstanding, and grants
+	// tokens. runDone is closed at teardown so Run's goroutine can
+	// finish. nonDaemons, ectScratch, and grantScratch (the round's grant
+	// list — kept off the shards so a retiring merger's token loop never
+	// touches state the next merger plans into) are planner scratch built
+	// once at Run start (sharded engines forbid mid-run spawns).
+	outstanding  atomic.Int64
+	runDone      chan struct{}
+	nonDaemons   []*Context
+	ectScratch   []Time
+	grantScratch []*shard
+
+	// Cooperative round mode (chosen at Run): when the host has a single
+	// schedulable CPU, token hand-offs between shard goroutines buy no
+	// parallelism and cost two scheduler switches per round. Instead a
+	// single chain goroutine runs every granted window sequentially,
+	// merges, plans, and repeats — zero channel operations per round.
+	// Window contents are planned identically in both modes, so results
+	// are bit-identical. coopGrants/coopNext are the current round's
+	// grant queue; only the chain goroutine (whose identity moves via the
+	// existing spare-scheduler hand-off on mid-step suspension) touches
+	// them. coopForce: 0 auto (GOMAXPROCS == 1), 1 on, -1 off.
+	coop       bool
+	coopForce  int
+	coopGrants []*shard
+	coopNext   int
+
+	// Window telemetry, written only by the acting merger (the grant
+	// token hand-off orders rounds) and read after Run.
+	winGrants, winBatched, winWidthSum uint64
 
 	dstats DispatchStats // folded across shards when Run finishes
 
@@ -443,15 +537,58 @@ func WithShards(shards, origins int, window Time) Option {
 	}
 }
 
+// WithCrossShardDelivery declares the guaranteed minimum latency of
+// cross-shard events: every AtEventFromTo that crosses a shard boundary
+// fires at least d cycles after the scheduling clock. The adaptive
+// window planner uses it as its lookahead — larger d means longer
+// uninterrupted windows. d must hold for every cross-shard interaction
+// (for the paper's machine, the network's base latency: contention and
+// occupancy only delay delivery further); the window-safety check in
+// AtEventFromTo fails loudly on any violation. Values below the base
+// window are ignored (the base window is always a valid lookahead).
+func WithCrossShardDelivery(d Time) Option {
+	return func(e *Engine) { e.minDelivery = d }
+}
+
+// WithFixedWindows disables adaptive lookahead planning: every round
+// grants the legacy fixed window [M, M+window) to every shard with work
+// inside it. Simulated results are bit-identical either way — window
+// placement cannot affect the merged event order — so the option exists
+// for A/B equivalence tests and overhead measurement.
+func WithFixedWindows() Option {
+	return func(e *Engine) { e.fixedWindow = true }
+}
+
+// WithCooperativeRounds forces cooperative round execution on sharded
+// engines: one chain goroutine runs every granted window in shard order
+// with no per-round channel hand-offs. This is the automatic choice when
+// GOMAXPROCS is 1 (token hand-offs cannot buy parallelism there); the
+// option pins it for tests and measurement. Results are bit-identical to
+// concurrent rounds — the planner computes the same windows either way.
+func WithCooperativeRounds() Option {
+	return func(e *Engine) { e.coopForce = 1 }
+}
+
+// WithConcurrentRounds forces token-granted concurrent round execution
+// on sharded engines (the automatic choice when GOMAXPROCS > 1), even on
+// a single-CPU host. See WithCooperativeRounds.
+func WithConcurrentRounds() Option {
+	return func(e *Engine) { e.coopForce = -1 }
+}
+
 // NewEngine returns an empty engine.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		quantum:  DefaultQuantum,
 		nshards:  1,
 		shutdown: make(chan struct{}),
+		runDone:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.minDelivery < e.window {
+		e.minDelivery = e.window
 	}
 	if e.origins > 0 {
 		e.evSeqs = make([]uint64, e.origins)
@@ -468,8 +605,7 @@ func NewEngine(opts ...Option) *Engine {
 			// rendezvous.
 			backCh:   make(chan struct{}, 1),
 			rootWake: make(chan struct{}, 1),
-			grantCh:  make(chan Time, 1),
-			doneCh:   make(chan struct{}, 1),
+			grantCh:  make(chan struct{}, 1),
 			limit:    infTime,
 		}
 		s.runnable.a = make([]*Context, 0, 64)
@@ -527,6 +663,17 @@ func (e *Engine) DispatchStats() DispatchStats {
 		d.add(s.dstats)
 	}
 	return d
+}
+
+// WindowStats returns the engine's window-grant counters. Call after Run
+// (the counters are merger-owned while a sharded run is in flight); a
+// serial engine reports all zeros.
+func (e *Engine) WindowStats() WindowStats {
+	return WindowStats{
+		Grants:      e.winGrants,
+		Batched:     e.winBatched,
+		WidthCycles: e.winWidthSum,
+	}
 }
 
 // Spawn creates a context on shard 0 that must finish before Run can
@@ -975,9 +1122,11 @@ func (e *Engine) AtEventFrom(t Time, origin int, ev Event) {
 // AtEventFromTo is AtEventFrom with the event fired on the shard that
 // owns dest (the node whose state ev mutates): a cross-shard event is
 // staged in the origin shard's outbox and merged into dest's heap at the
-// next window boundary. t must be at least one full lookahead window in
-// the future whenever dest lives on another shard — true by construction
-// for network packets, whose latency bounds the window from above.
+// next window boundary. t must be at least the cross-shard delivery
+// lookahead (WithCrossShardDelivery; at minimum one base window) in the
+// future whenever dest lives on another shard — true by construction for
+// network packets, whose base latency bounds the lookahead from above
+// while contention only delays delivery further.
 func (e *Engine) AtEventFromTo(t Time, origin, dest int, ev Event) {
 	s := e.sh[e.ShardOf(origin)]
 	s.syncRunning()
@@ -994,16 +1143,19 @@ func (e *Engine) AtEventFromTo(t Time, origin, dest int, ev Event) {
 	if ds := e.ShardOf(dest); ds != s.id {
 		// Window-safety invariant: a cross-shard event is staged in the
 		// outbox and merged only at the next window boundary, so one
-		// scheduled inside the current window would be delivered late —
-		// silently, and differently at different shard counts. That means
-		// the caller's lookahead claim (e.g. the network latency bounding
-		// the window) is broken; fail loudly instead of corrupting
-		// determinism. s.limit is infTime on a serial engine, so the
-		// check only bites under sharded execution, where it matters.
-		if t < s.limit {
+		// scheduled below the destination shard's granted bound would be
+		// delivered late — silently, and differently at different shard
+		// counts. That means the caller's lookahead claim (e.g. the
+		// network latency bounding the planner's lookahead) is broken;
+		// fail loudly instead of corrupting determinism, naming the
+		// event's stable (time, origin, seq) key, both shards, and the
+		// granted bounds so the broken bound is debuggable from the panic
+		// alone. Limits are infTime on a serial engine, so the check only
+		// bites under sharded execution, where it matters.
+		if d := e.sh[ds]; t < d.limit {
 			panic(fmt.Sprintf(
-				"sim: cross-shard event (origin %d → dest %d) at time %d inside the current window (limit %d): lookahead too small for the scheduling horizon",
-				origin, dest, t, s.limit))
+				"sim: cross-shard event (time %d, origin %d, seq %d) from shard %d to node %d on shard %d lands inside the current window (granted bound %d, origin shard's bound %d, base window %d, delivery lookahead %d): lookahead too small for the scheduling horizon",
+				t, origin, e.evSeqs[origin], s.id, dest, ds, d.limit, s.limit, e.window, e.minDelivery))
 		}
 		s.outbox = append(s.outbox, outItem{sh: int32(ds), it: it})
 	} else {
@@ -1097,16 +1249,49 @@ func (s *shard) dispatchInline(c *Context) {
 // instead). It is re-registered before the conch is released, so the
 // pool is only ever mutated conch-held.
 func (s *shard) scheduleLoop(park chan struct{}) (done bool) {
+	for {
+		if s.runWindow(park) {
+			// Lost the role to a mid-step suspension; runWindow already
+			// handed the conch back and re-registered park in the pool.
+			return false
+		}
+		// Window exhausted (or abort/quiescence): serial runs are over,
+		// sharded shards trade the window for the next one.
+		if s.limit != infTime && s.windowBoundary() {
+			continue
+		}
+		break
+	}
+	if park != nil && s.limit == infTime {
+		// A spare observed the end of a serial run: hand the scheduler
+		// role (and the conch) back to the root goroutine, which
+		// finishes Run. Sharded shards end at a window boundary instead
+		// (their grant channel closes at teardown).
+		s.spareWakes = append(s.spareWakes, park)
+		s.rootWake <- struct{}{}
+	}
+	return true
+}
+
+// runWindow runs the shard's current window: fire due events, dispatch
+// runnable contexts in (time, prio, id) order, both bounded by the
+// shard's window limit (infTime when serial). It returns false when the
+// window is exhausted — nothing left before the limit, the shard went
+// quiescent (serial), or the shard aborted — with the caller still
+// holding the scheduler role. It returns true when this goroutine loses
+// the role instead: a stepper it hosted inline suspended mid-step and
+// handed the role to a spare (Context.suspend); once the suspended
+// activation completes back on this goroutine, the stale frame observes
+// the newer schedGen, re-registers park (nil for the serial root), hands
+// the conch to the acting scheduler, and retires.
+func (s *shard) runWindow(park chan struct{}) (lost bool) {
 	s.loopIsRoot = park == nil
 	gen := s.schedGen
 	for {
 		if s.abort != nil {
-			// Serial: the run is over. Sharded: report the abort at the
-			// boundary and idle until the coordinator stops the run.
-			if s.limit != infTime && s.windowBoundary() {
-				continue
-			}
-			break
+			// Serial: the run is over. Sharded: retire the window so the
+			// round's merger folds the abort and tears the run down.
+			return false
 		}
 		// Run every event that is due before (or at) the next context.
 		nextCtx := infTime
@@ -1123,48 +1308,329 @@ func (s *shard) scheduleLoop(park chan struct{}) (done bool) {
 			continue
 		}
 		if nextCtx >= s.limit {
-			// Nothing left inside the bound: the window is exhausted
-			// (sharded — trade it for the next one) or the shard is
-			// quiescent (serial, limit == infTime).
-			if s.limit != infTime && s.windowBoundary() {
-				continue
-			}
-			break
+			return false
 		}
 		s.dispatch(s.runnable.pop())
 		if s.schedGen != gen {
 			// The role moved on while this goroutine hosted a suspended
 			// step; the activation has completed, so hand the conch to
-			// the acting scheduler and retire this loop frame.
+			// the acting scheduler and retire this frame.
 			if park != nil {
 				s.spareWakes = append(s.spareWakes, park)
 			}
 			s.backCh <- struct{}{}
-			return false
+			return true
 		}
 	}
-	if park != nil && s.limit == infTime {
-		// A spare observed the end of a serial run: hand the scheduler
-		// role (and the conch) back to the root goroutine, which
-		// finishes Run. Sharded shards end at a window boundary instead
-		// (the coordinator holds every conch between windows).
-		s.spareWakes = append(s.spareWakes, park)
-		s.rootWake <- struct{}{}
-	}
-	return true
 }
 
-// windowBoundary hands the shard's conch to the coordinator (the window
-// is exhausted) and blocks until the next window grant. It returns false
-// when the coordinator ends the run instead of granting another window.
+// windowBoundary retires the shard's window. The last granted shard to
+// arrive here (the outstanding counter's decrement reaches zero) becomes
+// the round's merger: it owns every shard's state — all other granted
+// shards have parked on their grant channels, and the atomic decrement
+// chain publishes their writes — so it merges the boundary and plans and
+// grants the next round inline (runRound). If the merger granted itself
+// it continues immediately with zero channel operations — the
+// single-active-shard fast path; otherwise it parks like everyone else.
+// It returns false when the run ends (teardown closed the grant
+// channel) instead of granting this shard another window.
 func (s *shard) windowBoundary() bool {
-	s.doneCh <- struct{}{}
-	limit, ok := <-s.grantCh
-	if !ok {
+	e := s.eng
+	if e.outstanding.Add(-1) == 0 {
+		if e.runRound(s) {
+			return true
+		}
+	}
+	_, ok := <-s.grantCh
+	return ok
+}
+
+// runRound runs one boundary round as the acting merger (self is the
+// merging shard, nil when called by Run's goroutine for round zero):
+// merge cross-shard effects, then plan and grant the next round's
+// windows. It returns whether self was granted a window and may continue
+// scheduling without touching its grant channel. When nothing is
+// grantable (quiescence or abort) it tears the run down instead: every
+// grant channel closes (ending all shard schedulers) and runDone
+// releases Run.
+func (e *Engine) runRound(self *shard) bool {
+	e.mergeBoundary()
+	var grants []*shard
+	selfGranted := false
+	if e.abort == nil {
+		grants, selfGranted = e.planRound(self)
+	}
+	if len(grants) == 0 {
+		e.teardown()
 		return false
 	}
-	s.limit = limit
-	return true
+	// Publish the round size before any token send: a granted shard may
+	// finish its window and decrement immediately. After the final token
+	// send this goroutine touches no shared planning state — the grant
+	// list reads all precede their sends, and only self (whose own later
+	// decrement orders everything it does) can sit past the last send —
+	// so the next merger, which cannot exist until every token has
+	// landed, races with nothing here.
+	e.outstanding.Store(int64(len(grants)))
+	for _, s := range grants {
+		if s != self {
+			s.grantCh <- struct{}{}
+		}
+	}
+	return selfGranted
+}
+
+// teardown ends a sharded run: every grant channel closes (ending all
+// shard schedulers in concurrent mode; cooperative mode has no parked
+// receivers) and runDone releases Run's goroutine.
+func (e *Engine) teardown() {
+	for _, s := range e.sh {
+		close(s.grantCh)
+	}
+	close(e.runDone)
+}
+
+// roundCoop runs one boundary round in cooperative mode: merge the
+// window's cross-shard effects, plan the next round, and queue the
+// granted shards for the chain goroutine to run sequentially. It returns
+// the first shard of the new round, or nil after tearing the run down
+// (quiescence or abort). No tokens and no outstanding counter: the chain
+// goroutine owns every shard's state the whole time, handing it off only
+// through the spare-scheduler machinery on mid-step suspension.
+func (e *Engine) roundCoop() *shard {
+	e.mergeBoundary()
+	var grants []*shard
+	if e.abort == nil {
+		grants, _ = e.planRound(nil)
+	}
+	if len(grants) == 0 {
+		e.teardown()
+		return nil
+	}
+	e.coopGrants, e.coopNext = grants, 1
+	return grants[0]
+}
+
+// drive is the cooperative chain: run the current shard's window, then
+// the rest of the round's queue in shard order, then merge and plan the
+// next round, repeating until teardown (returns nil) or until a mid-step
+// suspension hands the chain to a spare (returns the shard whose pool
+// this goroutine joined, so its own wake resumes that shard's window).
+func (e *Engine) drive(s *shard, park chan struct{}) *shard {
+	for {
+		if s.runWindow(park) {
+			return s
+		}
+		if e.coopNext < len(e.coopGrants) {
+			s = e.coopGrants[e.coopNext]
+			e.coopNext++
+			continue
+		}
+		if s = e.roundCoop(); s == nil {
+			return nil
+		}
+	}
+}
+
+// chainDriver is the cooperative mode's initial chain goroutine: it
+// plans round zero and drives windows until the run tears down or it
+// becomes a suspended step's host (then it parks in that shard's spare
+// pool like any other retired scheduler and may be woken to drive
+// again). A shutdownSignal unwinding out of a hosted step's frames (the
+// run finished while the step was still suspended) retires it.
+func (e *Engine) chainDriver() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(shutdownSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	s := e.roundCoop()
+	if s == nil {
+		return
+	}
+	wake := make(chan struct{}, 1)
+	for {
+		if s = e.drive(s, wake); s == nil {
+			return
+		}
+		select {
+		case <-wake:
+		case <-e.shutdown:
+			return
+		}
+	}
+}
+
+// satAdd is saturating Time addition: sums that would wrap pin to
+// infTime (an unbounded limit), keeping infTime a fixed point.
+func satAdd(a, b Time) Time {
+	if c := a + b; c >= a {
+		return c
+	}
+	return infTime
+}
+
+// planRound computes every shard's next window limit, collects the
+// granted shards into the reusable grant scratch, and reports whether
+// self was granted. Runs merger-side with every shard's state owned, and
+// allocation-free (BenchmarkWindowGrant pins that).
+//
+// Fixed mode replicates the legacy lockstep plan: every shard gets
+// limit = M + window, M the earliest pending item machine-wide.
+//
+// Adaptive mode grants each shard x the closed-form bound
+//
+//	limit(x) = min( m_excl(x) + LA,  base(x) + 2·LA,  gBar )
+//
+// where base(s) is shard s's earliest pending item, m_excl(x) the
+// smallest base over the other shards, LA the cross-shard delivery
+// lookahead, and gBar a lower bound on the earliest upcoming barrier
+// release (releaseLB). Soundness: anything another shard does happens at
+// or after its base, so its earliest effect on x is a delivery at
+// m_excl(x)+LA; x's own actions (at ≥ base(x)) can come back to x only
+// via a round trip through some other shard, ≥ base(x)+2·LA — which also
+// bounds the case where every other shard is idle (m_excl = ∞) without
+// letting x run unboundedly; and barrier releases, the one wakeup that
+// is not a timed event, are bounded below by gBar for every shard, so no
+// shard's processed frontier can pass a release it has not seen. Every
+// term is ≥ M + window (ect and base are ≥ M; LA ≥ window; barrier
+// latency ≥ window), so adaptive windows are never narrower than the
+// legacy fixed plan — same progress guarantee, strictly fewer rounds.
+func (e *Engine) planRound(self *shard) (grants []*shard, selfGranted bool) {
+	// Two-smallest scan of the shard bases: m1 the global minimum M (held
+	// by shard i1), m2 the runner-up, so m_excl(x) is m2 for x == i1 and
+	// m1 otherwise (ties make them equal, either is correct).
+	m1, m2 := infTime, infTime
+	i1 := -1
+	for _, s := range e.sh {
+		b := s.nextTime()
+		s.base = b
+		if b < m1 {
+			m1, m2, i1 = b, m1, s.id
+		} else if b < m2 {
+			m2 = b
+		}
+	}
+	if m1 == infTime {
+		return nil, false // quiescent (or deadlocked) machine-wide
+	}
+	grants = e.grantScratch[:0]
+	la := e.minDelivery
+	fixed := m1 + e.window
+	gBar := infTime
+	if !e.fixedWindow {
+		for _, b := range e.barriers {
+			if lb := e.releaseLB(b, m1, m2, i1, la); lb < gBar {
+				gBar = lb
+			}
+		}
+	}
+	for _, s := range e.sh {
+		limit := fixed
+		if !e.fixedWindow {
+			mx := m1
+			if s.id == i1 {
+				mx = m2
+			}
+			limit = satAdd(mx, la)
+			if rt := satAdd(s.base, 2*la); rt < limit {
+				limit = rt
+			}
+			if gBar < limit {
+				limit = gBar
+			}
+		}
+		s.limit = limit
+		// Idle shards (nothing before their bound) keep their conch with
+		// the merger: granting them would only bounce an empty window
+		// over the channels. A shard quiescent until T simply reports T
+		// as its base and stays ungranted until some bound passes T.
+		if s.base < limit {
+			grants = append(grants, s)
+			if s == self {
+				selfGranted = true
+			}
+			width := uint64(limit - s.base)
+			e.winGrants++
+			e.winWidthSum += width
+			if width >= uint64(2*e.window) {
+				e.winBatched++
+			}
+		}
+	}
+	return grants, selfGranted
+}
+
+// releaseLB lower-bounds barrier b's next release time: the release
+// fires latency cycles after the last of its n arrivals, so with k
+// arrivals still missing it cannot fire before (k-th smallest earliest
+// arrival among the contexts that could still arrive, or the latest
+// already-staged arrival if later) + latency. A context's earliest
+// arrival (ect) is its own clock, pushed out for parked contexts to the
+// earliest wakeup the machine could deliver: the shard's own next item,
+// a cross-shard delivery at m_excl+LA, or — for a context waiting at a
+// different barrier — that barrier's own release lower bound.
+func (e *Engine) releaseLB(b *Barrier, m1, m2 Time, i1 int, la Time) Time {
+	// Planning runs after mergeStaged, so this boundary's arrivals are
+	// already folded into waiting (and a complete barrier has released
+	// and reset), leaving k ≥ 1 arrivals outstanding.
+	k := b.n - len(b.waiting)
+	ect := e.ectScratch[:0]
+	for _, c := range e.nonDaemons {
+		if c.atBarrier == b || c.state == StateDone {
+			continue
+		}
+		t := c.time
+		if c.state == StateParked {
+			s := c.sh
+			wake := s.base
+			mx := m1
+			if s.id == i1 {
+				mx = m2
+			}
+			if w := satAdd(mx, la); w < wake {
+				wake = w
+			}
+			if ob := c.atBarrier; ob != nil {
+				// Waiting at another barrier: woken by its release, which
+				// fires ≥ latency after its last arrival (≥ M, and ≥ the
+				// arrivals it has already staged).
+				r := m1
+				if ob.maxTime > r {
+					r = ob.maxTime
+				}
+				if r = satAdd(r, ob.latency); r < wake {
+					wake = r
+				}
+			}
+			if wake > t {
+				t = wake
+			}
+		}
+		ect = append(ect, t)
+	}
+	if len(ect) < k {
+		return infTime // cannot complete: not enough live arrivers
+	}
+	var kth Time
+	if len(ect) == k {
+		// Every live context must arrive (the common compute-phase case):
+		// the k-th smallest is the maximum, no sort needed.
+		for _, t := range ect {
+			if t > kth {
+				kth = t
+			}
+		}
+	} else {
+		slices.Sort(ect) // in-place on the scratch: allocation-free
+		kth = ect[k-1]
+	}
+	if b.maxTime > kth {
+		kth = b.maxTime
+	}
+	return satAdd(kth, b.latency)
 }
 
 // wakeScheduler hands the scheduler role to a spare goroutine, starting
@@ -1193,22 +1659,37 @@ func (s *shard) spareScheduler() {
 			}
 		}
 	}()
+	e := s.eng
 	wake := make(chan struct{}, 1)
+	cur := s
 	for {
-		s.scheduleLoop(wake) // registers wake in the pool before releasing the conch
+		if e.coop {
+			// Cooperative rounds: the woken spare holds cur's role
+			// mid-window and continues the whole chain — cur's window,
+			// the rest of the round's queue, and every following round —
+			// until teardown or until it too becomes a suspended step's
+			// host (drive reports which shard's pool it joined).
+			if cur = e.drive(cur, wake); cur == nil {
+				return
+			}
+		} else {
+			s.scheduleLoop(wake) // registers wake in the pool before releasing the conch
+		}
 		select {
 		case <-wake:
-		case <-s.eng.shutdown:
+		case <-e.shutdown:
 			return
 		}
 	}
 }
 
 // shardScheduler is a shard's initial scheduler goroutine under sharded
-// execution: it waits for the first window grant, then schedules exactly
-// like a spare — if it loses the role to a mid-step suspension it parks
-// in the pool, and whichever goroutine holds the role trades windows
-// with the coordinator at each boundary.
+// execution: it waits for the first window token (the limit was written
+// by the planning round that sent it), then schedules exactly like a
+// spare — if it loses the role to a mid-step suspension it parks in the
+// pool, and whichever goroutine holds the role retires windows at each
+// boundary (windowBoundary), merging and planning rounds itself when it
+// is the last one standing.
 func (s *shard) shardScheduler() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -1217,11 +1698,9 @@ func (s *shard) shardScheduler() {
 			}
 		}
 	}()
-	limit, ok := <-s.grantCh
-	if !ok {
+	if _, ok := <-s.grantCh; !ok {
 		return
 	}
-	s.limit = limit
 	wake := make(chan struct{}, 1)
 	for {
 		s.scheduleLoop(wake)
@@ -1257,6 +1736,9 @@ func (e *Engine) Run() error {
 		fleet.steps.Add(d.InlineSteps)
 		fleet.gsteps.Add(d.GoroutineSteps)
 		fleet.suspends.Add(d.InlineSuspends)
+		fleet.wgrants.Add(e.winGrants)
+		fleet.wbatched.Add(e.winBatched)
+		fleet.wwidth.Add(e.winWidthSum)
 	}()
 
 	if len(e.sh) == 1 {
@@ -1316,49 +1798,52 @@ func (e *Engine) runSerial() {
 	e.abort = s.abort
 }
 
-// runSharded is the window coordinator: it grants every shard with work
-// the window [M, M+W), waits for all of them to exhaust it, merges
-// cross-shard events and barrier arrivals at the boundary, and repeats
-// until the machine is quiescent or aborts. The grant/done channel pair
-// is the only cross-goroutine synchronisation — it carries the shard's
-// conch, so between windows the coordinator owns every shard's state.
+// runSharded boots the floating-coordinator rounds: there is no
+// dedicated coordinator goroutine. Run's goroutine plans and grants
+// round zero (runRound with no self), then waits for the round chain to
+// tear itself down — each boundary is merged and the next round planned
+// by the last granted shard to exhaust its window (windowBoundary). The
+// grant tokens and the outstanding counter's atomic decrement chain are
+// the only cross-goroutine synchronisation: both carry every shard's
+// state from one round's merger to the next.
 func (e *Engine) runSharded() {
+	e.prepareWindows()
+	e.coop = e.coopForce > 0 || (e.coopForce == 0 && runtime.GOMAXPROCS(0) == 1)
+	if e.coop {
+		// Single schedulable CPU (or forced): one chain goroutine runs
+		// every granted window sequentially — no shard scheduler
+		// goroutines, no tokens, no per-round switches. Run's goroutine
+		// only waits: the chain may outlive its first goroutine (spares
+		// inherit it across mid-step suspensions), and a chain goroutine
+		// stuck hosting a never-resuming step at run end must not be
+		// Run's own stack.
+		go e.chainDriver()
+		<-e.runDone
+		return
+	}
 	for _, s := range e.sh {
 		go s.shardScheduler()
 	}
-	for e.abort == nil {
-		m := infTime
-		for _, s := range e.sh {
-			if t := s.nextTime(); t < m {
-				m = t
-			}
-		}
-		if m == infTime {
-			break // quiescent (or deadlocked) machine-wide
-		}
-		limit := m + e.window
-		for _, s := range e.sh {
-			// Idle shards (nothing before the window's end) keep their
-			// conch with the coordinator: granting them would only bounce
-			// an empty window over the channels.
-			if s.granted = s.nextTime() < limit; s.granted {
-				s.grantCh <- limit
-			}
-		}
-		for _, s := range e.sh {
-			if s.granted {
-				<-s.doneCh
-			}
-		}
-		e.mergeBoundary()
-	}
-	for _, s := range e.sh {
-		close(s.grantCh)
-	}
+	e.runRound(nil)
+	<-e.runDone
 }
 
-// mergeBoundary integrates one window's cross-shard effects while every
-// shard's conch is parked with the coordinator: outbox events are pushed
+// prepareWindows builds the planner's scratch state: the non-daemon
+// context list the barrier bound scans, and its ect scratch buffer.
+// Sharded engines forbid mid-run spawns, so the list is complete at Run
+// start and planning rounds stay allocation-free.
+func (e *Engine) prepareWindows() {
+	for _, c := range e.contexts {
+		if !c.daemon {
+			e.nonDaemons = append(e.nonDaemons, c)
+		}
+	}
+	e.ectScratch = make([]Time, 0, len(e.nonDaemons))
+	e.grantScratch = make([]*shard, 0, len(e.sh))
+}
+
+// mergeBoundary integrates one window's cross-shard effects while the
+// acting merger owns every shard's conch: outbox events are pushed
 // into their destination heaps (the stable event key already fixes the
 // fire order, so insertion order is immaterial), completed barriers
 // release their waiters, and shard aborts fold — by shard id, so the

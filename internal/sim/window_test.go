@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPlanRoundBounds pins the adaptive planner's closed-form limit
+//
+//	limit(x) = min( m_excl(x) + LA,  base(x) + 2·LA,  gBar )
+//
+// on a hand-built two-shard engine: shard 0's earliest item at 100,
+// shard 1's at 130, lookahead 25. Shard 0 is bounded by its own round
+// trip (100+50=150, tighter than 130+25=155); shard 1 is bounded by
+// shard 0's earliest effect (100+25=125), which lies below its base —
+// the idle-shard fast path: it stays ungranted, no empty window bounces
+// over the channels.
+func TestPlanRoundBounds(t *testing.T) {
+	e := NewEngine(WithShards(2, 2, 10), WithCrossShardDelivery(25))
+	e.AtEventFromTo(100, 0, 0, funcEvent(func() {}))
+	e.AtEventFromTo(130, 1, 1, funcEvent(func() {}))
+	e.prepareWindows()
+
+	grants, _ := e.planRound(nil)
+	if len(grants) != 1 || grants[0] != e.sh[0] {
+		t.Fatalf("granted %d shards, want only shard 0", len(grants))
+	}
+	if got := e.sh[0].limit; got != 150 {
+		t.Errorf("shard 0 limit = %d, want 150 (base 100 + 2·25 round trip)", got)
+	}
+	if got := e.sh[1].limit; got != 125 {
+		t.Errorf("shard 1 limit = %d, want 125 (m_excl 100 + 25 lookahead)", got)
+	}
+	// Every adaptive limit must dominate the legacy fixed plan M+window,
+	// or adaptive rounds could be slower than lockstep.
+	for _, s := range e.sh {
+		if s.limit < 100+10 {
+			t.Errorf("shard %d limit %d below the fixed window bound 110", s.id, s.limit)
+		}
+	}
+
+	ws := e.WindowStats()
+	if ws.Grants != 1 || ws.WidthCycles != 50 || ws.Batched != 1 {
+		t.Errorf("stats = %+v, want 1 grant of width 50, batched", ws)
+	}
+}
+
+// TestPlanRoundFixedMode pins the legacy plan under WithFixedWindows:
+// every shard's limit is M+window regardless of its own base, and
+// windows can never batch (width ≤ window < 2·window).
+func TestPlanRoundFixedMode(t *testing.T) {
+	e := NewEngine(WithShards(2, 2, 10), WithCrossShardDelivery(25), WithFixedWindows())
+	e.AtEventFromTo(100, 0, 0, funcEvent(func() {}))
+	e.AtEventFromTo(105, 1, 1, funcEvent(func() {}))
+	e.prepareWindows()
+
+	grants, _ := e.planRound(nil)
+	if len(grants) != 2 {
+		t.Fatalf("granted %d shards, want 2", len(grants))
+	}
+	for _, s := range e.sh {
+		if s.limit != 110 {
+			t.Errorf("shard %d limit = %d, want fixed M+window = 110", s.id, s.limit)
+		}
+	}
+	if ws := e.WindowStats(); ws.Batched != 0 {
+		t.Errorf("fixed windows reported %d batched grants, want 0", ws.Batched)
+	}
+}
+
+// TestPlanRoundBarrierBound pins gBar: with every context bound for a
+// barrier, no shard's limit may pass the earliest possible release, or
+// the release (the one wakeup that is not a timed event) could land
+// inside an already-granted window on a shard that merged before it.
+func TestPlanRoundBarrierBound(t *testing.T) {
+	e := NewEngine(WithShards(2, 2, 10), WithCrossShardDelivery(500))
+	b := NewBarrier(e, 2, 12)
+	_ = b
+	// Both contexts runnable at 0: with a 500-cycle lookahead the
+	// delivery terms would allow limits of 1000, but the barrier can
+	// release as early as latency cycles after the last arrival, which
+	// can happen as soon as both contexts run: gBar = 0 + 12.
+	e.SpawnOn(0, "p0", func(c *Context) {})
+	e.SpawnOn(1, "p1", func(c *Context) {})
+	e.prepareWindows()
+
+	grants, _ := e.planRound(nil)
+	if len(grants) != 2 {
+		t.Fatalf("granted %d shards, want 2", len(grants))
+	}
+	for _, s := range e.sh {
+		if s.limit != 12 {
+			t.Errorf("shard %d limit = %d, want 12 (barrier release lower bound)", s.id, s.limit)
+		}
+	}
+}
+
+// TestWindowModesEquivalence runs one chaotic barrier workload — uneven
+// advances, quantum yields, cross-shard event traffic at exactly the
+// delivery lookahead — serially and under every sharded planning and
+// round-execution mode, and requires identical per-context histories
+// and per-node event receipts everywhere. Sends at exactly base+LA are
+// the tightest legal lookahead, so a single mis-planned window would
+// trip AtEventFromTo's safety panic: completing at all is the property
+// that a granted window never admits a cross-shard event inside it.
+func TestWindowModesEquivalence(t *testing.T) {
+	const nodes, delivery = 4, 17
+	type result struct {
+		logs [nodes]string
+		recv [nodes]Time
+	}
+	run := func(opts ...Option) result {
+		var r result
+		e := NewEngine(append([]Option{WithQuantum(8), WithCrossShardDelivery(delivery)}, opts...)...)
+		b := NewBarrier(e, nodes, 11)
+		for i := 0; i < nodes; i++ {
+			i := i
+			e.SpawnOn(i, fmt.Sprintf("p%d", i), func(c *Context) {
+				for k := 0; k < 12; k++ {
+					c.Advance(Time((i*7 + k*3) % 13 + 1))
+					if k%3 == i%3 {
+						c.Yield()
+					}
+					dest := (i + 1 + k%3) % nodes
+					at := c.Time() + delivery
+					e.AtEventFromTo(at, i, dest, funcEvent(func() { r.recv[dest] += at }))
+					r.logs[i] += fmt.Sprintf("k%d @%d;", k, c.Time())
+					b.Arrive(c)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r
+	}
+	want := run(WithShards(1, nodes, 10))
+	for _, shards := range []int{2, 4} {
+		for name, mode := range map[string][]Option{
+			"adaptive-coop":       {WithCooperativeRounds()},
+			"adaptive-concurrent": {WithConcurrentRounds()},
+			"fixed-coop":          {WithFixedWindows(), WithCooperativeRounds()},
+			"fixed-concurrent":    {WithFixedWindows(), WithConcurrentRounds()},
+		} {
+			got := run(append([]Option{WithShards(shards, nodes, 10)}, mode...)...)
+			if got != want {
+				t.Errorf("shards=%d %s diverges from serial:\n got %+v\nwant %+v", shards, name, got, want)
+			}
+		}
+	}
+}
+
+// TestDaemonBarrierArrivePanics pins the sharded barrier's daemon
+// restriction: the planner's release bound only scans non-daemon
+// contexts, so a daemon arrival would make the bound unsound — Arrive
+// refuses it loudly instead.
+func TestDaemonBarrierArrivePanics(t *testing.T) {
+	e := NewEngine(WithShards(2, 2, 10))
+	b := NewBarrier(e, 1, 11)
+	e.SpawnDaemon("rogue", func(c *Context) { b.Arrive(c) })
+	e.SpawnOn(1, "app", func(c *Context) { c.Advance(30) })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "arrived at a sharded barrier") {
+		t.Fatalf("err = %v, want daemon-barrier panic", err)
+	}
+}
+
+// TestWindowStatsAfterRun asserts the telemetry counters describe a real
+// sharded run: at least one grant per boundary round, widths never below
+// one cycle, and batched a subset of grants.
+func TestWindowStatsAfterRun(t *testing.T) {
+	e := NewEngine(WithShards(2, 2, 10))
+	for i := 0; i < 2; i++ {
+		i := i
+		e.SpawnOn(i, fmt.Sprintf("p%d", i), func(c *Context) {
+			for k := 0; k < 50; k++ {
+				c.Advance(Time(i + 3))
+				c.Yield()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ws := e.WindowStats()
+	if ws.Grants == 0 {
+		t.Fatal("sharded run granted no windows")
+	}
+	if ws.WidthCycles < ws.Grants {
+		t.Errorf("width sum %d below grant count %d: zero-width window granted", ws.WidthCycles, ws.Grants)
+	}
+	if ws.Batched > ws.Grants {
+		t.Errorf("batched %d exceeds grants %d", ws.Batched, ws.Grants)
+	}
+}
+
+// windowGrantEngine builds a four-shard engine mid-plan shape — staggered
+// event bases, a barrier whose release bound takes the sort path (more
+// live contexts than missing arrivals) — without running it, so a plan
+// round can be timed and alloc-checked in isolation.
+func windowGrantEngine() *Engine {
+	e := NewEngine(WithShards(4, 8, 10), WithCrossShardDelivery(14))
+	NewBarrier(e, 6, 12)
+	for i := 0; i < 8; i++ {
+		e.SpawnOn(i, fmt.Sprintf("p%d", i), func(c *Context) {})
+		e.AtEventFromTo(Time(100+13*i), i, i, funcEvent(func() {}))
+	}
+	e.prepareWindows()
+	return e
+}
+
+// TestWindowGrantAllocFree guards the planner's hot loop: one plan round
+// — base scan, barrier release bound (sort path included), limits and
+// grant list — must not allocate, or every window boundary of every
+// sharded run pays the garbage collector.
+func TestWindowGrantAllocFree(t *testing.T) {
+	e := windowGrantEngine()
+	if avg := testing.AllocsPerRun(200, func() { e.planRound(nil) }); avg != 0 {
+		t.Fatalf("planRound allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+func BenchmarkWindowGrant(b *testing.B) {
+	e := windowGrantEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.planRound(nil)
+	}
+}
