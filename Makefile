@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench microbench bench-smoke bench-parallel digest-check profile fuzz-seeds conform
+.PHONY: ci vet build test race bench bench-warm microbench bench-smoke bench-parallel digest-check cache-check profile fuzz-seeds conform
 
-ci: vet build race bench-smoke digest-check bench-parallel fuzz-seeds conform
+ci: vet build race bench-smoke digest-check bench-parallel cache-check fuzz-seeds conform
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,16 @@ race:
 bench:
 	$(GO) run ./cmd/bench -label "$${BENCH_LABEL:-dev}"
 	$(GO) run ./cmd/bench -label "$${BENCH_LABEL:-dev}-contended" -link-bw 4 -occupancy 20
+
+# bench-warm times the result cache: a cold sweep that populates a
+# fresh cache directory, then a warm sweep served entirely from it
+# (-expect-cached fails if anything simulates). Both append labelled
+# entries to BENCH_sim.json, so the cold-vs-warm speedup is on record.
+bench-warm:
+	rm -rf .bench-cache.tmp
+	$(GO) run ./cmd/bench -cache-dir .bench-cache.tmp -label "$${BENCH_LABEL:-dev}-cold"
+	$(GO) run ./cmd/bench -cache-dir .bench-cache.tmp -label "$${BENCH_LABEL:-dev}-warm" -expect-cached
+	rm -rf .bench-cache.tmp
 
 # microbench runs the per-figure/table Go benchmarks.
 microbench:
@@ -62,6 +72,18 @@ bench-parallel:
 	$(GO) run ./cmd/bench -shards 4 -check testdata/bench.digest
 	$(GO) run ./cmd/bench -shards 4 -link-bw 4 -occupancy 20 -check testdata/bench_contended.digest
 
+# cache-check is the result-cache gate: a cold sweep against the pinned
+# digest populates a fresh cache directory; the warm re-run must produce
+# the same digest without simulating anything (-expect-cached fails on
+# any miss or store); a second warm run re-simulates every hit
+# (-cache-verify 1.0) and fails on the first divergence.
+cache-check:
+	rm -rf .cache-check.tmp
+	$(GO) run ./cmd/bench -cache-dir .cache-check.tmp -check testdata/bench.digest
+	$(GO) run ./cmd/bench -cache-dir .cache-check.tmp -check testdata/bench.digest -expect-cached
+	$(GO) run ./cmd/bench -cache-dir .cache-check.tmp -check testdata/bench.digest -expect-cached -cache-verify 1.0
+	rm -rf .cache-check.tmp
+
 # profile runs the bench sweep under the CPU and allocation profilers;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
 profile:
@@ -71,7 +93,7 @@ profile:
 # fuzz-seeds executes the committed seed corpora of the fuzz targets as
 # ordinary tests (no fuzzing engine; deterministic).
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/ ./internal/trace/ ./internal/conform/
+	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/ ./internal/trace/ ./internal/conform/ ./internal/resultcache/
 
 # conform is the trace-replay conformance gate: verify the committed
 # corpus (manifest, decode, standalone replay, tag-machine check), then

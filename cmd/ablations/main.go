@@ -24,6 +24,9 @@ func main() {
 	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
 	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle for every sweep (0 = infinite, the paper's model; the contention sweep uses its own grid)")
 	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message for every sweep (0 = unbounded concurrency; the contention sweep uses its own grid)")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (\"\" = in-process memory cache only)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
+	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the sweep")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -46,11 +49,16 @@ func main() {
 	if *occupancy < 0 {
 		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
 	}
+	cp, err := harness.NewCacheParams(*cacheDir, *noCache, *cacheVerify)
+	if err != nil {
+		fail(err)
+	}
 	j := *jobs
 	sp := harness.SimParams{
 		Shards:            *shards,
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
+		Cache:             cp,
 	}
 
 	type ab struct {
@@ -110,7 +118,7 @@ func main() {
 	// ignores -link-bw/-occupancy.
 	if *only == "" || *only == "contention" {
 		cells, err := harness.ContentionSweep(harness.ContentionOptions{
-			Scale: sc, Workers: j, Shards: *shards,
+			Scale: sc, Workers: j, Shards: *shards, Cache: cp,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ablations: contention:", err)
@@ -121,5 +129,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if cp.Cache != nil && *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "ablations: cache %s: %s\n", *cacheDir, cp.Cache.Stats())
 	}
 }

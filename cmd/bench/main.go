@@ -47,6 +47,19 @@ type Entry struct {
 	Occupancy  int64              `json:"occupancy,omitempty"`
 	Seconds    map[string]float64 `json:"seconds"`
 	Digest     string             `json:"digest"`
+	Cache      *CacheSummary      `json:"cache,omitempty"`
+}
+
+// CacheSummary records the result-cache telemetry of one bench run, so
+// cold-versus-warm entries in BENCH_sim.json are self-describing.
+type CacheSummary struct {
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Stores     uint64  `json:"stores"`
+	Verified   uint64  `json:"verified,omitempty"`
+	Corrupt    uint64  `json:"corrupt,omitempty"`
+	Persistent bool    `json:"persistent,omitempty"`
+	Verify     float64 `json:"verify_fraction,omitempty"`
 }
 
 // File is the BENCH_sim.json shape: newest entry last.
@@ -62,6 +75,10 @@ func main() {
 	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle (0 = infinite; non-zero changes the digest)")
 	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message (0 = unbounded; non-zero changes the digest)")
 	noDedup := flag.Bool("no-dedup", false, "simulate every Figure 3 point, even ones provably identical to a smaller-cache run")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (\"\" = in-process memory cache only)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
+	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the run")
+	expectCached := flag.Bool("expect-cached", false, "fail unless every simulation was served from the cache (requires -cache-dir; the CI warm-run assertion)")
 	check := flag.String("check", "", "golden digest file: compare instead of appending, exit 1 on mismatch")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
@@ -82,6 +99,16 @@ func main() {
 	}
 	if *occupancy < 0 {
 		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
+	}
+	cp, err := harness.NewCacheParams(*cacheDir, *noCache, *cacheVerify)
+	if err != nil {
+		fail(err)
+	}
+	if *expectCached && *cacheDir == "" {
+		fail(fmt.Errorf("-expect-cached needs -cache-dir: only a persistent cache can serve a whole run"))
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "bench: result cache at %s (verify fraction %g)\n", *cacheDir, *cacheVerify)
 	}
 
 	if *cpuprofile != "" {
@@ -113,6 +140,7 @@ func main() {
 			LinkBytesPerCycle: *linkBW,
 			OccupancyCycles:   sim.Time(*occupancy),
 			NoDedup:           *noDedup,
+			Cache:             cp,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
 			},
@@ -138,6 +166,7 @@ func main() {
 		Shards:            *shards,
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
+		Cache:             cp,
 	})
 	if err != nil {
 		fail(err)
@@ -177,6 +206,23 @@ func main() {
 			"bench: windows: %d grants, %d batched (%.1f%%), mean width %.1f cycles\n",
 			ws.Grants, ws.Batched, 100*float64(ws.Batched)/float64(ws.Grants),
 			float64(ws.WidthCycles)/float64(ws.Grants))
+	}
+	// Result-cache fleet summary: how many simulations this run actually
+	// performed versus served from memoized results. Cache activity
+	// never changes the digest — hits reconstruct bit-identical results.
+	var cacheSummary *CacheSummary
+	if cp.Cache != nil {
+		cs := cp.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "bench: cache: %s\n", cs)
+		cacheSummary = &CacheSummary{
+			Hits: cs.Hits, Misses: cs.Misses, Stores: cs.Stores,
+			Verified: cs.Verified, Corrupt: cs.Corrupt,
+			Persistent: cp.Cache.Persistent(), Verify: *cacheVerify,
+		}
+		if *expectCached && (cs.Misses > 0 || cs.Stores > 0 || cs.Corrupt > 0) {
+			fmt.Fprintf(os.Stderr, "bench: EXPECTED FULLY CACHED RUN but saw %s\n", cs)
+			os.Exit(1)
+		}
 	}
 
 	if *memprofile != "" {
@@ -218,6 +264,7 @@ func main() {
 		Occupancy:  *occupancy,
 		Seconds:    seconds,
 		Digest:     sum,
+		Cache:      cacheSummary,
 	}
 
 	var f File

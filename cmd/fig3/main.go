@@ -27,6 +27,9 @@ func main() {
 	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle (0 = infinite, the paper's model)")
 	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message (0 = unbounded concurrency)")
 	noDedup := flag.Bool("no-dedup", false, "simulate every sweep point, even ones provably identical to a smaller-cache run")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (\"\" = in-process memory cache only)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
+	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the sweep")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
@@ -50,6 +53,10 @@ func main() {
 	if *occupancy < 0 {
 		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
 	}
+	cp, err := harness.NewCacheParams(*cacheDir, *noCache, *cacheVerify)
+	if err != nil {
+		fail(err)
+	}
 	opts := harness.Fig3Options{
 		Scale:             scale,
 		Workers:           *jobs,
@@ -57,6 +64,7 @@ func main() {
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
 		NoDedup:           *noDedup,
+		Cache:             cp,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -83,6 +91,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig3:", err)
 		os.Exit(1)
+	}
+	if cp.Cache != nil && *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "fig3: cache %s: %s\n", *cacheDir, cp.Cache.Stats())
 	}
 	if err := harness.RenderFigure3(os.Stdout, cells); err != nil {
 		fmt.Fprintln(os.Stderr, "fig3:", err)

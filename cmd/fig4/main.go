@@ -24,6 +24,9 @@ func main() {
 	shards := flag.Int("shards", 1, "scheduler goroutines per simulation (1..nodes; results identical at every value)")
 	linkBW := flag.Int("link-bw", 0, "link bandwidth in bytes/cycle (0 = infinite, the paper's model)")
 	occupancy := flag.Int64("occupancy", 0, "protocol-agent occupancy in cycles per message (0 = unbounded concurrency)")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (\"\" = in-process memory cache only)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
+	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the sweep")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
@@ -51,10 +54,15 @@ func main() {
 	if *occupancy < 0 {
 		fail(fmt.Errorf("-occupancy %d: agent occupancy must be >= 0 cycles", *occupancy))
 	}
+	cp, err := harness.NewCacheParams(*cacheDir, *noCache, *cacheVerify)
+	if err != nil {
+		fail(err)
+	}
 	opts := harness.Fig4Options{
 		Scale: scale, Set: set, Workers: *jobs, Shards: *shards,
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
+		Cache:             cp,
 	}
 	if *pcts != "" {
 		for _, s := range strings.Split(*pcts, ",") {
@@ -80,6 +88,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig4:", err)
 		os.Exit(1)
+	}
+	if cp.Cache != nil && *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "fig4: cache %s: %s\n", *cacheDir, cp.Cache.Stats())
 	}
 	if err := harness.RenderFigure4(os.Stdout, pts); err != nil {
 		fmt.Fprintln(os.Stderr, "fig4:", err)

@@ -8,9 +8,8 @@ import (
 	"github.com/tempest-sim/tempest/internal/apps"
 	"github.com/tempest-sim/tempest/internal/apps/em3d"
 	"github.com/tempest-sim/tempest/internal/apps/ocean"
-	"github.com/tempest-sim/tempest/internal/blizzard"
-	"github.com/tempest-sim/tempest/internal/dirnnb"
 	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/resultcache"
 	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stache"
 	"github.com/tempest-sim/tempest/internal/stats"
@@ -46,7 +45,7 @@ func AblationBlockSize(scale Scale, sp SimParams, workers int) ([]AblationRow, e
 			if err != nil {
 				return AblationRow{}, err
 			}
-			rr, err := Run(cfg, SysStache, app)
+			rr, err := RunCached(sp.Cache, cfg, SysStache, app)
 			if err != nil {
 				return AblationRow{}, err
 			}
@@ -90,7 +89,7 @@ func AblationPlacement(scale Scale, sp SimParams, workers int) ([]AblationRow, e
 			cfg := ocfg
 			cfg.OwnerPlaced = c.owner
 			app := ocean.New(cfg)
-			rr, err := Run(mcfg, c.sys, app)
+			rr, err := RunCached(sp.Cache, mcfg, c.sys, app)
 			if err != nil {
 				return AblationRow{}, err
 			}
@@ -110,21 +109,31 @@ func AblationStacheBudget(scale Scale, sp SimParams, workers int) ([]AblationRow
 	var jobs []Job[AblationRow]
 	for _, budget := range []int{0, 16, 4, 2} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			m := machine.New(mcfg)
-			var opts []stache.Option
-			if budget > 0 {
-				opts = append(opts, stache.WithMaxPages(budget))
+			simulate := func() (RunResult, error) {
+				m := machine.New(mcfg)
+				var opts []stache.Option
+				if budget > 0 {
+					opts = append(opts, stache.WithMaxPages(budget))
+				}
+				st := stache.New(opts...)
+				typhoon.New(m, st)
+				app := em3d.New(ecfg)
+				app.Setup(m)
+				res, err := m.Run(app.Body)
+				if err != nil {
+					return RunResult{}, err
+				}
+				if err := app.Verify(m); err != nil {
+					return RunResult{}, fmt.Errorf("harness: budget=%d: %w", budget, err)
+				}
+				return RunResult{System: SysStache, App: app.Name(), Res: res}, nil
 			}
-			st := stache.New(opts...)
-			typhoon.New(m, st)
-			app := em3d.New(ecfg)
-			app.Setup(m)
-			res, err := m.Run(app.Body)
+			// budget=0 is exactly the plain Stache run — no extra key
+			// field, so it shares a cache entry with other sweeps' runs.
+			extra := []resultcache.Field{resultcache.FInt("stache.max_pages", int64(budget))}
+			rr, _, err := cachedRun(sp.Cache, mcfg, SysStache, "em3d", em3dKey(ecfg), extra, simulate)
 			if err != nil {
 				return AblationRow{}, err
-			}
-			if err := app.Verify(m); err != nil {
-				return AblationRow{}, fmt.Errorf("harness: budget=%d: %w", budget, err)
 			}
 			label := "unbounded"
 			if budget > 0 {
@@ -132,9 +141,9 @@ func AblationStacheBudget(scale Scale, sp SimParams, workers int) ([]AblationRow
 			}
 			return AblationRow{
 				Label:  label,
-				Cycles: res.ROICycles,
+				Cycles: rr.Res.ROICycles,
 				Extra: map[string]uint64{
-					"replacements": res.Counters.Get("stache.replacements"),
+					"replacements": rr.Res.Counters.Get("stache.replacements"),
 				},
 			}, nil
 		})
@@ -157,7 +166,7 @@ func AblationNetLatency(scale Scale, sp SimParams, workers int) ([]AblationRow, 
 				if err != nil {
 					return AblationRow{}, err
 				}
-				rr, err := Run(cfg, sys, app)
+				rr, err := RunCached(sp.Cache, cfg, sys, app)
 				if err != nil {
 					return AblationRow{}, err
 				}
@@ -185,7 +194,7 @@ func AblationFirstTouch(scale Scale, sp SimParams, workers int) ([]AblationRow, 
 			if err != nil {
 				return AblationRow{}, err
 			}
-			rr, err := Run(mcfg, sys, app)
+			rr, err := RunCached(sp.Cache, mcfg, sys, app)
 			if err != nil {
 				return AblationRow{}, err
 			}
@@ -200,18 +209,11 @@ func AblationFirstTouch(scale Scale, sp SimParams, workers int) ([]AblationRow, 
 			c.N = 66
 		}
 		c.OwnerPlaced = true
-		m := machine.New(mcfg)
-		dirnnb.New(m)
-		app := ocean.New(c)
-		app.Setup(m)
-		res, err := m.Run(app.Body)
+		rr, err := RunCached(sp.Cache, mcfg, SysDirNNB, ocean.New(c))
 		if err != nil {
 			return AblationRow{}, err
 		}
-		if err := app.Verify(m); err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{Label: "first-touch/dirnnb", Cycles: res.ROICycles}, nil
+		return AblationRow{Label: "first-touch/dirnnb", Cycles: rr.Res.ROICycles}, nil
 	})
 	return RunAll(jobs, workers)
 }
@@ -247,32 +249,48 @@ func AblationEM3DProtocols(scale Scale, pctRemote int, sp SimParams, workers int
 		}
 		return msgs - res.Net.LocalSends
 	}
-	// stacheRow runs one Stache variant (plain or check-in).
+	// stacheRow runs one Stache variant (plain or check-in) through the
+	// cache. The plain variant is the standard SysStache run (same key
+	// as any other sweep's, so entries are shared); the check-in app is
+	// a distinct program and carries its own key field.
 	stacheRow := func(label string, checkin bool) (AblationRow, error) {
-		m := machine.New(mcfg)
-		st := stache.New()
-		typhoon.New(m, st)
-		var app apps.App
-		if checkin {
-			app = em3d.NewCheckInApp(ecfg, st)
-		} else {
-			app = em3d.New(ecfg)
+		simulate := func() (RunResult, error) {
+			m := machine.New(mcfg)
+			st := stache.New()
+			typhoon.New(m, st)
+			var app apps.App
+			if checkin {
+				app = em3d.NewCheckInApp(ecfg, st)
+			} else {
+				app = em3d.New(ecfg)
+			}
+			app.Setup(m)
+			res, err := m.Run(app.Body)
+			if err != nil {
+				return RunResult{}, err
+			}
+			if err := app.Verify(m); err != nil {
+				return RunResult{}, err
+			}
+			return RunResult{System: SysStache, App: app.Name(), Res: res}, nil
 		}
-		app.Setup(m)
-		res, err := m.Run(app.Body)
+		appName := "em3d"
+		var extra []resultcache.Field
+		if checkin {
+			appName = "em3d-checkin"
+			extra = []resultcache.Field{resultcache.FBool("app.checkin", true)}
+		}
+		rr, _, err := cachedRun(sp.Cache, mcfg, SysStache, appName, em3dKey(ecfg), extra, simulate)
 		if err != nil {
 			return AblationRow{}, err
 		}
-		if err := app.Verify(m); err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{Label: label, Cycles: res.ROICycles,
-			Extra: map[string]uint64{"net-messages": netMsgs(res)}}, nil
+		return AblationRow{Label: label, Cycles: rr.Res.ROICycles,
+			Extra: map[string]uint64{"net-messages": netMsgs(rr.Res)}}, nil
 	}
 	jobs := []Job[AblationRow]{
 		// DirNNB (hardware messages are not modeled as packets; report cycles).
 		func(context.Context) (AblationRow, error) {
-			dir, err := runEM3DOn(mcfg, SysDirNNB, ecfg)
+			dir, err := runEM3DOn(sp.Cache, mcfg, SysDirNNB, ecfg)
 			if err != nil {
 				return AblationRow{}, err
 			}
@@ -286,20 +304,12 @@ func AblationEM3DProtocols(scale Scale, pctRemote int, sp SimParams, workers int
 		},
 		// Custom update protocol.
 		func(context.Context) (AblationRow, error) {
-			m := machine.New(mcfg)
-			u := em3d.NewUpdateProtocol()
-			typhoon.New(m, u)
-			app := em3d.NewUpdateApp(ecfg, u)
-			app.Setup(m)
-			res, err := m.Run(app.Body)
+			rr, err := RunEM3DUpdateCached(sp.Cache, mcfg, ecfg)
 			if err != nil {
 				return AblationRow{}, err
 			}
-			if err := app.Verify(m); err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: "typhoon-update", Cycles: res.ROICycles,
-				Extra: map[string]uint64{"net-messages": netMsgs(res)}}, nil
+			return AblationRow{Label: "typhoon-update", Cycles: rr.Res.ROICycles,
+				Extra: map[string]uint64{"net-messages": netMsgs(rr.Res)}}, nil
 		},
 	}
 	return RunAll(jobs, workers)
@@ -314,34 +324,50 @@ func AblationMigratory(scale Scale, sp SimParams, workers int) ([]AblationRow, e
 	var jobs []Job[AblationRow]
 	for _, mig := range []bool{false, true} {
 		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			m := machine.New(mcfg)
-			var opts []stache.Option
-			label := "stache/plain"
-			if mig {
-				opts = append(opts, stache.WithMigratory())
-				label = "stache/migratory"
-			}
-			st := stache.New(opts...)
-			typhoon.New(m, st)
 			app, err := MakeApp("mp3d", scale, SetSmall)
 			if err != nil {
 				return AblationRow{}, err
 			}
-			app.Setup(m)
-			res, err := m.Run(app.Body)
+			label := "stache/plain"
+			if mig {
+				label = "stache/migratory"
+			}
+			simulate := func() (RunResult, error) {
+				m := machine.New(mcfg)
+				var opts []stache.Option
+				if mig {
+					opts = append(opts, stache.WithMigratory())
+				}
+				st := stache.New(opts...)
+				typhoon.New(m, st)
+				app.Setup(m)
+				res, err := m.Run(app.Body)
+				if err != nil {
+					return RunResult{}, err
+				}
+				if err := app.Verify(m); err != nil {
+					return RunResult{}, err
+				}
+				if err := st.CheckInvariants(); err != nil {
+					return RunResult{}, err
+				}
+				return RunResult{System: SysStache, App: app.Name(), Res: res}, nil
+			}
+			appFields, err := appKeyFields(app)
 			if err != nil {
 				return AblationRow{}, err
 			}
-			if err := app.Verify(m); err != nil {
+			// mig=false drops the field — the plain run shares its entry
+			// with any other Stache/mp3d sweep at this configuration.
+			extra := []resultcache.Field{resultcache.FBool("stache.migratory", mig)}
+			rr, _, err := cachedRun(sp.Cache, mcfg, SysStache, app.Name(), appFields, extra, simulate)
+			if err != nil {
 				return AblationRow{}, err
 			}
-			if err := st.CheckInvariants(); err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: label, Cycles: res.ROICycles,
+			return AblationRow{Label: label, Cycles: rr.Res.ROICycles,
 				Extra: map[string]uint64{
-					"migratory-grants": res.Counters.Get("stache.migratory_grants"),
-					"upgrades":         res.Counters.Get("stache.upgrades"),
+					"migratory-grants": rr.Res.Counters.Get("stache.migratory_grants"),
+					"upgrades":         rr.Res.Counters.Get("stache.upgrades"),
 				}}, nil
 		})
 	}
@@ -360,28 +386,19 @@ func AblationSoftwareTempest(scale Scale, sp SimParams, workers int) ([]Ablation
 			jobs = append(jobs, func(context.Context) (AblationRow, error) {
 				cfg := MachineConfig(scale, 16<<10)
 				sp.apply(&cfg)
-				m := machine.New(cfg)
-				st := stache.New()
-				label := name + "/typhoon"
+				sys, label := SysStache, name+"/typhoon"
 				if software {
-					blizzard.New(m, st, blizzard.Config{})
-					label = name + "/software"
-				} else {
-					typhoon.New(m, st)
+					sys, label = SysBlizzard, name+"/software"
 				}
 				app, err := MakeApp(name, scale, SetSmall)
 				if err != nil {
 					return AblationRow{}, err
 				}
-				app.Setup(m)
-				res, err := m.Run(app.Body)
+				rr, err := RunCached(sp.Cache, cfg, sys, app)
 				if err != nil {
 					return AblationRow{}, err
 				}
-				if err := app.Verify(m); err != nil {
-					return AblationRow{}, err
-				}
-				return AblationRow{Label: label, Cycles: res.ROICycles}, nil
+				return AblationRow{Label: label, Cycles: rr.Res.ROICycles}, nil
 			})
 		}
 	}

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tempest-sim/tempest/internal/apps"
+	"github.com/tempest-sim/tempest/internal/apps/appbt"
+	"github.com/tempest-sim/tempest/internal/apps/barnes"
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/apps/mp3d"
+	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/resultcache"
+	"github.com/tempest-sim/tempest/internal/sim"
+	"github.com/tempest-sim/tempest/internal/stats"
+)
+
+// CacheParams threads the result cache through a sweep. The zero value
+// disables caching entirely (every point simulates).
+type CacheParams struct {
+	// Cache is the shared store, nil for no caching.
+	Cache *resultcache.Cache
+	// Verify is the fraction of cache hits to re-simulate and compare
+	// ([0, 1]); a mismatch fails the sweep loudly.
+	Verify float64
+}
+
+// enabled reports whether lookups should happen at all.
+func (cp CacheParams) enabled() bool { return cp.Cache != nil }
+
+// NewCacheParams validates and builds the standard
+// -cache-dir/-no-cache/-cache-verify flag triple every binary exposes.
+// The default (no flags) is an in-process memory cache; -cache-dir adds
+// the persistent tier; -no-cache disables caching and conflicts with
+// the other two.
+func NewCacheParams(dir string, noCache bool, verify float64) (CacheParams, error) {
+	if verify < 0 || verify > 1 {
+		return CacheParams{}, fmt.Errorf("-cache-verify %v: fraction must be in [0, 1]", verify)
+	}
+	if noCache {
+		if dir != "" {
+			return CacheParams{}, fmt.Errorf("-no-cache conflicts with -cache-dir %s", dir)
+		}
+		if verify > 0 {
+			return CacheParams{}, fmt.Errorf("-no-cache conflicts with -cache-verify %v (nothing to verify)", verify)
+		}
+		return CacheParams{}, nil
+	}
+	c, err := resultcache.New(resultcache.Options{Dir: dir})
+	if err != nil {
+		return CacheParams{}, err
+	}
+	return CacheParams{Cache: c, Verify: verify}, nil
+}
+
+// machineKey contributes the machine configuration's semantic fields to
+// a key. Simulator-mechanics knobs — Shards, FixedWindow,
+// GoroutineDispatch — are deliberately excluded: results are
+// bit-identical for every value (the repo's core determinism claim,
+// enforced by TestParallelDeterminism and the digest gates), which is
+// exactly what makes a result recorded at shards=1 valid for a
+// shards=4 run. Everything that changes simulated behaviour — node
+// count, cache geometry, latencies, the contention knobs, DRAM budget,
+// quantum, seed — is included.
+func machineKey(b *resultcache.KeyBuilder, cfg machine.Config) {
+	cfg = cfg.Normalized()
+	b.Int("m.nodes", int64(cfg.Nodes))
+	b.Int("m.cache_bytes", int64(cfg.CacheSize))
+	b.Int("m.ways", int64(cfg.CacheWays))
+	b.Int("m.block", int64(cfg.BlockSize))
+	b.Int("m.tlb", int64(cfg.TLBEntries))
+	b.Uint("m.local_miss", uint64(cfg.LocalMissCycles))
+	b.Uint("m.tlb_miss", uint64(cfg.TLBMissCycles))
+	b.Uint("m.net_latency", uint64(cfg.NetLatency))
+	b.Uint("m.barrier_latency", uint64(cfg.BarrierLatency))
+	b.Int("m.link_bw", int64(cfg.LinkBytesPerCycle))
+	b.Uint("m.occupancy", uint64(cfg.OccupancyCycles))
+	b.Int("m.mem_pages", int64(cfg.MemPagesPerNode))
+	b.Uint("m.quantum", uint64(cfg.Quantum))
+	b.Uint("m.seed", cfg.Seed)
+}
+
+// em3dKey contributes an em3d workload's parameters.
+func em3dKey(c em3d.Config) []resultcache.Field {
+	return []resultcache.Field{
+		resultcache.FInt("app.total_nodes", int64(c.TotalNodes)),
+		resultcache.FInt("app.degree", int64(c.Degree)),
+		resultcache.FInt("app.pct_remote", int64(c.PctRemote)),
+		resultcache.FInt("app.remote_reuse", int64(c.RemoteReuse)),
+		resultcache.FInt("app.iters", int64(c.Iters)),
+		resultcache.FUint("app.seed", c.Seed),
+	}
+}
+
+// appKeyFields extracts a benchmark instance's workload parameters for
+// the key. Every app type must be listed: silently keying an unknown
+// app on its name alone would alias different workloads, so this
+// errors instead.
+func appKeyFields(app apps.App) ([]resultcache.Field, error) {
+	switch a := app.(type) {
+	case *appbt.App:
+		c := a.Config()
+		return []resultcache.Field{
+			resultcache.FInt("app.n", int64(c.N)),
+			resultcache.FInt("app.iters", int64(c.Iters)),
+		}, nil
+	case *barnes.App:
+		c := a.Config()
+		return []resultcache.Field{
+			resultcache.FInt("app.bodies", int64(c.Bodies)),
+			resultcache.FInt("app.iters", int64(c.Iters)),
+			resultcache.FFloat("app.theta", c.Theta),
+			resultcache.FUint("app.seed", c.Seed),
+		}, nil
+	case *mp3d.App:
+		c := a.Config()
+		return []resultcache.Field{
+			resultcache.FInt("app.mols", int64(c.Mols)),
+			resultcache.FInt("app.cells", int64(c.Cells)),
+			resultcache.FInt("app.steps", int64(c.Steps)),
+			resultcache.FUint("app.seed", c.Seed),
+		}, nil
+	case *ocean.App:
+		c := a.Config()
+		return []resultcache.Field{
+			resultcache.FInt("app.n", int64(c.N)),
+			resultcache.FInt("app.iters", int64(c.Iters)),
+			resultcache.FBool("app.owner_placed", c.OwnerPlaced),
+		}, nil
+	case *em3d.App:
+		return em3dKey(a.Config()), nil
+	}
+	return nil, fmt.Errorf("harness: no cache key mapping for app %q (%T)", app.Name(), app)
+}
+
+// runKey digests one run's full input.
+func runKey(code string, cfg machine.Config, system System, appName string, appFields, extra []resultcache.Field) resultcache.Key {
+	b := resultcache.NewKey()
+	b.Str("code", code)
+	b.Str("system", string(system))
+	b.Str("app", appName)
+	machineKey(b, cfg)
+	b.Add(appFields)
+	b.Add(extra)
+	return b.Sum()
+}
+
+// codeDigestFor resolves the code digest for a cache. A persistent
+// cache refuses to run without one (its entries outlive the process,
+// so keys must pin the code); a memory-only cache falls back to a
+// fixed sentinel — within one process the code cannot change.
+func codeDigestFor(c *resultcache.Cache) (string, error) {
+	code, err := resultcache.CodeDigest()
+	if err == nil {
+		return code, nil
+	}
+	if c.Persistent() {
+		return "", fmt.Errorf("harness: persistent result cache needs a code digest: %w", err)
+	}
+	return "in-memory", nil
+}
+
+// entryFromResult converts a run into its cached form. Counters under
+// the engine. prefix are stripped: they describe how this host ran the
+// simulation (dispatch hosting, window grants vary with the shard
+// count), not what was simulated, and a cached result must be valid
+// for any shard count.
+func entryFromResult(key resultcache.Key, code string, system System, appName string, res machine.Result) *resultcache.Entry {
+	e := &resultcache.Entry{
+		Key:      key,
+		Code:     code,
+		System:   string(system),
+		App:      appName,
+		Cycles:   uint64(res.Cycles),
+		ROI:      uint64(res.ROICycles),
+		Counters: make(map[string]uint64),
+		Net:      res.Net,
+	}
+	for _, name := range res.Counters.Names() {
+		if strings.HasPrefix(name, "engine.") {
+			continue
+		}
+		e.Counters[name] = res.Counters.Get(name)
+	}
+	for i := range res.ObsHashes {
+		e.Obs = append(e.Obs, resultcache.ObsRecord{Hash: res.ObsHashes[i], Ops: res.ObsOps[i]})
+	}
+	return e
+}
+
+// resultFromEntry reconstructs a RunResult from a cached entry. The
+// engine.* counters a fresh run would carry are absent — by design;
+// they never describe simulated behaviour.
+func resultFromEntry(e *resultcache.Entry) RunResult {
+	ctr := stats.NewCounters()
+	for name, v := range e.Counters {
+		ctr.Add(name, v)
+	}
+	res := machine.Result{
+		Cycles:    sim.Time(e.Cycles),
+		ROICycles: sim.Time(e.ROI),
+		Counters:  ctr,
+		Net:       e.Net,
+	}
+	for _, o := range e.Obs {
+		res.ObsHashes = append(res.ObsHashes, o.Hash)
+		res.ObsOps = append(res.ObsOps, o.Ops)
+	}
+	return RunResult{System: System(e.System), App: e.App, Res: res}
+}
+
+// cachedRun is the memoization funnel every cached sweep point goes
+// through: look the key up, serve hits (re-simulating the configured
+// verification fraction and failing loudly on divergence), simulate
+// and store misses. Damaged disk entries fall back to simulation — the
+// cache counts them; they never fail a sweep.
+func cachedRun(cp CacheParams, cfg machine.Config, system System, appName string,
+	appFields, extra []resultcache.Field, simulate func() (RunResult, error)) (RunResult, *resultcache.Entry, error) {
+	if !cp.enabled() {
+		rr, err := simulate()
+		return rr, nil, err
+	}
+	code, err := codeDigestFor(cp.Cache)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	key := runKey(code, cfg, system, appName, appFields, extra)
+	// A Get error is a structured *resultcache.Error for a damaged entry
+	// (the corrupt counter has already ticked) or a read failure; either
+	// way the fall-back is the same: simulate.
+	cached, _ := cp.Cache.Get(key)
+	if cached != nil {
+		if cp.Cache.ShouldVerify(key, cp.Verify) {
+			rr, err := simulate()
+			if err != nil {
+				return RunResult{}, nil, fmt.Errorf("harness: cache verify re-simulation: %w", err)
+			}
+			fresh := entryFromResult(key, code, system, appName, rr.Res)
+			if err := resultcache.CheckMatch(cached, fresh); err != nil {
+				return RunResult{}, nil, fmt.Errorf("harness: %s on %s: cached result %s does not match re-simulation: %w",
+					appName, system, key, err)
+			}
+			cp.Cache.NoteVerified()
+		}
+		return resultFromEntry(cached), cached, nil
+	}
+	rr, err := simulate()
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	e := entryFromResult(key, code, system, appName, rr.Res)
+	cp.Cache.Put(e)
+	return rr, e, nil
+}
+
+// RunCached is Run behind the result cache: a hit reconstructs the
+// result without building a machine; a miss simulates and stores. With
+// a nil cache it is exactly Run.
+func RunCached(cp CacheParams, cfg machine.Config, system System, app apps.App) (RunResult, error) {
+	if !cp.enabled() {
+		return Run(cfg, system, app)
+	}
+	appFields, err := appKeyFields(app)
+	if err != nil {
+		return RunResult{}, err
+	}
+	rr, _, err := cachedRun(cp, cfg, system, app.Name(), appFields, nil,
+		func() (RunResult, error) { return Run(cfg, system, app) })
+	return rr, err
+}
+
+// RunEM3DUpdateCached is RunEM3DUpdate behind the result cache.
+func RunEM3DUpdateCached(cp CacheParams, cfg machine.Config, ecfg em3d.Config) (RunResult, error) {
+	if !cp.enabled() {
+		return RunEM3DUpdate(cfg, ecfg)
+	}
+	rr, _, err := cachedRun(cp, cfg, SysUpdate, "em3d-update", em3dKey(ecfg), nil,
+		func() (RunResult, error) { return RunEM3DUpdate(cfg, ecfg) })
+	return rr, err
+}

@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tempest-sim/tempest/internal/resultcache"
+	"github.com/tempest-sim/tempest/internal/stats"
+)
+
+// memCache builds an in-process CacheParams for tests.
+func memCache(t *testing.T) CacheParams {
+	t.Helper()
+	cp, err := NewCacheParams("", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// stripEngine drops the engine.* counters (dispatch hosting, window
+// grants) from a freshly simulated result so it can be compared against
+// a cache hit, which by design carries simulated-event counters only.
+func stripEngine(rr RunResult) RunResult {
+	ctr := stats.NewCounters()
+	for _, name := range rr.Res.Counters.Names() {
+		if !strings.HasPrefix(name, "engine.") {
+			ctr.Add(name, rr.Res.Counters.Get(name))
+		}
+	}
+	rr.Res.Counters = ctr
+	return rr
+}
+
+func TestRunCachedHitSkipsSimulation(t *testing.T) {
+	cp := memCache(t)
+	cfg := MachineConfig(ScaleReduced, 4<<10)
+	run := func() RunResult {
+		app, err := MakeApp("ocean", ScaleReduced, SetSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RunCached(cp, cfg, SysStache, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	fresh := run()
+	if s := cp.Cache.Stats(); s.Misses != 1 || s.Stores != 1 || s.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want 1 miss, 1 store", s)
+	}
+	hit := run()
+	if s := cp.Cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("warm stats = %+v, want 1 hit over 1 miss", s)
+	}
+	if !reflect.DeepEqual(stripEngine(fresh), hit) {
+		t.Errorf("cache hit diverges from the simulation it memoizes:\nfresh %+v\nhit   %+v", stripEngine(fresh), hit)
+	}
+}
+
+// TestWarmCacheServesAcrossShardCounts is the key's shard-invariance
+// contract: a result recorded at shards=1 must serve a shards=2 run of
+// the same machine, and match what that run would have simulated.
+func TestWarmCacheServesAcrossShardCounts(t *testing.T) {
+	cp := memCache(t)
+	cfgFor := func(shards int) func() RunResult {
+		return func() RunResult {
+			cfg := MachineConfig(ScaleReduced, 4<<10)
+			cfg.Shards = shards
+			app, err := MakeApp("ocean", ScaleReduced, SetSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err := RunCached(cp, cfg, SysStache, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rr
+		}
+	}
+	cfgFor(1)() // warm at shards=1
+	served := cfgFor(2)()
+	if s := cp.Cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want the shards=2 run to be a pure hit", s)
+	}
+	// The served result must equal an actual shards=2 simulation
+	// (modulo engine.* counters, which describe the host, not the run).
+	app, err := MakeApp("ocean", ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MachineConfig(ScaleReduced, 4<<10)
+	cfg.Shards = 2
+	fresh, err := Run(cfg, SysStache, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripEngine(fresh), served) {
+		t.Errorf("shards=1 entry diverges from shards=2 simulation:\nfresh %+v\nserved %+v", stripEngine(fresh), served)
+	}
+}
+
+// findEntryFile locates the single on-disk entry of a one-run cache.
+func findEntryFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.entry"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("entry files in %s: %v (err %v), want exactly 1", dir, matches, err)
+	}
+	return matches[0]
+}
+
+func TestCacheVerifyPassAndMismatch(t *testing.T) {
+	dir := t.TempDir()
+	warm := func(verify float64) (CacheParams, RunResult, error) {
+		cp, err := NewCacheParams(dir, false, verify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := MakeApp("ocean", ScaleReduced, SetSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, rerr := RunCached(cp, MachineConfig(ScaleReduced, 4<<10), SysStache, app)
+		return cp, rr, rerr
+	}
+	if _, _, err := warm(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean warm run at verify fraction 1.0 re-simulates the hit,
+	// matches, and counts it.
+	cp, _, err := warm(1.0)
+	if err != nil {
+		t.Fatalf("verified warm run: %v", err)
+	}
+	if s := cp.Cache.Stats(); s.Hits != 1 || s.Verified != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 verified", s)
+	}
+
+	// Doctor the stored entry — valid format, wrong result — and the
+	// verify pass must fail the run loudly.
+	path := findEntryFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := resultcache.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cycles++
+	if err := os.WriteFile(path, e.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = warm(1.0)
+	if err == nil || !strings.Contains(err.Error(), "does not match re-simulation") {
+		t.Fatalf("doctored entry passed verification: %v", err)
+	}
+	if !strings.Contains(err.Error(), "cycles diverge") {
+		t.Errorf("mismatch error %q does not name the divergence", err)
+	}
+}
+
+// TestCacheDamagedEntrySimulates is the harness-level fallback: a
+// damaged on-disk entry must not fail the run — it re-simulates, counts
+// cache.corrupt, and overwrites the damage.
+func TestCacheDamagedEntrySimulates(t *testing.T) {
+	dir := t.TempDir()
+	cp1, err := NewCacheParams(dir, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := MakeApp("ocean", ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunCached(cp1, MachineConfig(ScaleReduced, 4<<10), SysStache, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := findEntryFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := NewCacheParams(dir, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := MakeApp("ocean", ScaleReduced, SetSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCached(cp2, MachineConfig(ScaleReduced, 4<<10), SysStache, app2)
+	if err != nil {
+		t.Fatalf("damaged entry failed the run: %v", err)
+	}
+	if s := cp2.Cache.Stats(); s.Corrupt != 1 || s.Stores != 1 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 1 corrupt fallback re-stored", s)
+	}
+	if !reflect.DeepEqual(stripEngine(want), stripEngine(got)) {
+		t.Error("fallback simulation diverges from the original run")
+	}
+	// The overwritten entry is whole again.
+	if fixed, err := os.ReadFile(path); err != nil || !bytes.Equal(fixed, data) {
+		t.Errorf("damaged entry not repaired: err %v, equal %v", err, bytes.Equal(fixed, data))
+	}
+}
+
+func TestNewCacheParamsValidation(t *testing.T) {
+	if _, err := NewCacheParams("", true, 0); err != nil {
+		t.Errorf("-no-cache alone rejected: %v", err)
+	}
+	if cp, _ := NewCacheParams("", true, 0); cp.Cache != nil {
+		t.Error("-no-cache built a cache")
+	}
+	for name, call := range map[string]func() (CacheParams, error){
+		"no-cache+dir":     func() (CacheParams, error) { return NewCacheParams("/tmp/x", true, 0) },
+		"no-cache+verify":  func() (CacheParams, error) { return NewCacheParams("", true, 0.5) },
+		"verify-negative":  func() (CacheParams, error) { return NewCacheParams("", false, -0.1) },
+		"verify-above-one": func() (CacheParams, error) { return NewCacheParams("", false, 1.5) },
+	} {
+		if _, err := call(); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}
+
+// TestFig3WitnessMatchesSimulation pins the zero-eviction witness: the
+// sweep with the cache (and its witness aliases) must render exactly
+// the cells a dedup-free sweep simulates point by point.
+func TestFig3WitnessMatchesSimulation(t *testing.T) {
+	// appbt/small is eviction-free from 16K up, so the 64K points are
+	// served by the 16K witness rather than simulated.
+	base := Fig3Options{
+		Scale:   ScaleReduced,
+		Apps:    []string{"appbt"},
+		Configs: []Fig3Config{{SetSmall, 4}, {SetSmall, 16}, {SetSmall, 64}},
+	}
+	cached := base
+	cached.Cache = memCache(t)
+	nodedup := base
+	nodedup.NoDedup = true
+	a, err := Figure3(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure3(nodedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("cached sweep != simulated sweep:\n%+v\n%+v", a, b)
+	}
+	// The 16K run is clean on both systems; each 64K point must be a
+	// witness-alias hit, not a simulation.
+	if s := cached.Cache.Cache.Stats(); s.Hits != 2 {
+		t.Errorf("want 2 witness hits (64K on both systems), got stats %+v", s)
+	}
+}

@@ -75,6 +75,10 @@ type ContentionOptions struct {
 	// Shards is machine.Config.Shards for every run; results are
 	// bit-identical at every value, contention included.
 	Shards int
+	// Cache supplies a shared result cache (zero value = no caching).
+	// The contention knobs are key fields, so every sweep point has its
+	// own entry.
+	Cache CacheParams
 }
 
 // ContentionSweep reruns a Figure-3-style comparison across contention
@@ -108,7 +112,7 @@ func ContentionSweep(opts ContentionOptions) ([]ContentionCell, error) {
 					cfg.Shards = opts.Shards
 					cfg.LinkBytesPerCycle = pt.LinkBytesPerCycle
 					cfg.OccupancyCycles = pt.OccupancyCycles
-					return Run(cfg, sys, app)
+					return RunCached(opts.Cache, cfg, sys, app)
 				})
 			}
 		}

@@ -229,11 +229,11 @@ func RunObserved(cfg machine.Config, system System, app string, w DiffWorkload, 
 		}
 	}
 	obs.Res = res
-	obs.FinalProcs = make([]uint64, len(m.Procs))
-	obs.FinalOps = make([]uint64, len(m.Procs))
-	for i, p := range m.Procs {
-		obs.FinalProcs[i], obs.FinalOps[i] = p.Observation()
-	}
+	// machine.Run recorded each processor's final observation in the
+	// result (observation was enabled above) — the same records the
+	// result cache stores.
+	obs.FinalProcs = res.ObsHashes
+	obs.FinalOps = res.ObsOps
 	obs.MemDigest = SharedMemoryDigest(m)
 	switch {
 	case dsys != nil:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/tempest-sim/tempest/internal/resultcache"
 	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stats"
 )
@@ -69,12 +70,17 @@ type Fig3Options struct {
 	// unbounded-concurrency machine — the pinned goldens' configuration.
 	LinkBytesPerCycle int
 	OccupancyCycles   sim.Time
-	// NoDedup disables the redundant-point elimination: normally a sweep
-	// point whose run never evicted a CPU cache line is reused for every
-	// larger cache size of the same data set, because such a run is
-	// provably bit-identical at the larger size. Opting out forces every
-	// point to simulate — e.g. to demonstrate the equivalence itself.
+	// NoDedup bypasses the result cache for this sweep: every point
+	// simulates, including the redundant ones a zero-eviction witness
+	// would otherwise serve — e.g. to demonstrate the equivalence
+	// itself, or to time the uncached sweep.
 	NoDedup bool
+	// Cache supplies a shared result cache. When nil (and NoDedup is
+	// off) the sweep uses a private in-process cache, which preserves
+	// the historical zero-eviction dedup behaviour exactly: clean
+	// points are stored once and aliased to every larger cache size
+	// they are provably identical at.
+	Cache CacheParams
 	// Logf, when non-nil, receives one line per reused sweep point after
 	// the sweep completes, in deterministic sweep order.
 	Logf func(format string, args ...any)
@@ -89,25 +95,46 @@ var fig3Systems = []System{SysDirNNB, SysStache}
 // fig3Run is one sweep point's result, with its dedup provenance.
 type fig3Run struct {
 	RunResult
-	reusedFromKB int // when > 0, copied from this cache size's run
+	reusedFromKB int // when > 0, served from this cache size's witness
+}
+
+// fig3Witness is the alias-origin tag format: "witness:<kb>K" marks an
+// entry derived from the zero-eviction run at <kb> KB rather than
+// simulated at its own cache size.
+func fig3Witness(kb int) string { return fmt.Sprintf("witness:%dK", kb) }
+
+// parseFig3Witness extracts the witness cache size from an entry
+// origin, or 0 when the origin is not a witness tag.
+func parseFig3Witness(origin string) int {
+	var kb int
+	if n, err := fmt.Sscanf(origin, "witness:%dK", &kb); n == 1 && err == nil {
+		return kb
+	}
+	return 0
 }
 
 // Figure3 reproduces the paper's Figure 3: the execution time of
 // Typhoon/Stache relative to DirNNB across benchmarks and dataset/cache
 // combinations. Each (benchmark, system) pair is one job on the RunAll
 // pool; within a job the cache sizes of one data set run in the given
-// (ascending) order so that redundant points can reuse earlier results.
+// (ascending) order so that redundant points can be served from the
+// result cache.
 //
-// The dedup witness: the cache indexes sets by block % numSets and
-// consults its replacement RNG only when a fill finds no free way. A
-// run that performed zero evictions machine-wide therefore never drew
-// from the RNG, and at any larger cache whose set count is a multiple
-// of the witness's (same ways and block size — cache sizes here are
-// powers of two), each set holds a subset of the blocks of the set it
-// refines, so it can never overflow either. By induction over the event
-// schedule the two runs are bit-identical: same hits, misses, upgrades,
-// protocol traffic, and cycle counts. EXPERIMENTS.md's observation that
-// appbt and ocean render identical rows at 16K/64K/256K is this effect.
+// The zero-eviction witness is one layer of that cache: the CPU cache
+// indexes sets by block % numSets and consults its replacement RNG
+// only when a fill finds no free way. A run that performed zero
+// evictions machine-wide therefore never drew from the RNG, and at any
+// larger cache whose set count is a multiple of the witness's (same
+// ways and block size — cache sizes here are powers of two), each set
+// holds a subset of the blocks of the set it refines, so it can never
+// overflow either. By induction over the event schedule the two runs
+// are bit-identical: same hits, misses, upgrades, protocol traffic,
+// and cycle counts. The sweep exploits this by storing a clean run's
+// entry under the derived keys of every larger multiple cache size
+// (origin "witness:<kb>K"), so the later points are ordinary cache
+// hits — one reuse mechanism, in-process and on-disk alike.
+// EXPERIMENTS.md's observation that appbt and ocean render identical
+// rows at 16K/64K/256K is this effect.
 func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	names := opts.Apps
 	if names == nil {
@@ -117,43 +144,63 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	if configs == nil {
 		configs = Fig3Configs(opts.Scale)
 	}
+	sp := SimParams{Shards: opts.Shards, LinkBytesPerCycle: opts.LinkBytesPerCycle, OccupancyCycles: opts.OccupancyCycles}
+	cp := opts.Cache
+	if cp.Cache == nil && !opts.NoDedup {
+		// Private in-process cache: exactly the historical dedup scope
+		// (one sweep), served through the one shared mechanism.
+		c, err := resultcache.New(resultcache.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cp.Cache = c
+	}
 	var jobs []Job[[]fig3Run]
 	for _, name := range names {
 		for _, sys := range fig3Systems {
 			jobs = append(jobs, func(context.Context) ([]fig3Run, error) {
-				// Per data set: the last config actually simulated, and
-				// whether that run never evicted a CPU cache line.
-				type witness struct {
-					cacheKB int
-					clean   bool
-					res     RunResult
-				}
-				last := make(map[DataSet]witness)
 				out := make([]fig3Run, 0, len(configs))
-				for _, fc := range configs {
-					if w, ok := last[fc.Set]; ok && !opts.NoDedup && w.clean &&
-						fc.CacheKB >= w.cacheKB && fc.CacheKB%w.cacheKB == 0 {
-						out = append(out, fig3Run{RunResult: w.res, reusedFromKB: w.cacheKB})
-						continue
-					}
+				for i, fc := range configs {
 					app, err := MakeApp(name, opts.Scale, fc.Set)
 					if err != nil {
 						return nil, err
 					}
 					cfg := MachineConfig(opts.Scale, fc.CacheKB<<10)
-					cfg.Shards = opts.Shards
-					cfg.LinkBytesPerCycle = opts.LinkBytesPerCycle
-					cfg.OccupancyCycles = opts.OccupancyCycles
-					rr, err := Run(cfg, sys, app)
+					sp.apply(&cfg)
+					if opts.NoDedup || cp.Cache == nil {
+						rr, err := Run(cfg, sys, app)
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, fig3Run{RunResult: rr})
+						continue
+					}
+					appFields, err := appKeyFields(app)
 					if err != nil {
 						return nil, err
 					}
-					last[fc.Set] = witness{
-						cacheKB: fc.CacheKB,
-						clean:   rr.Res.Counters.Get("cpu.evictions") == 0,
-						res:     rr,
+					rr, entry, err := cachedRun(cp, cfg, sys, app.Name(), appFields, nil,
+						func() (RunResult, error) { return Run(cfg, sys, app) })
+					if err != nil {
+						return nil, err
 					}
-					out = append(out, fig3Run{RunResult: rr})
+					out = append(out, fig3Run{RunResult: rr, reusedFromKB: parseFig3Witness(entry.Origin)})
+					// A clean (zero-eviction) non-alias result proves every
+					// larger multiple cache size of the same data set
+					// bit-identical; file it under those keys too.
+					if entry.Origin == "" && rr.Res.Counters.Get("cpu.evictions") == 0 {
+						for _, fc2 := range configs[i+1:] {
+							if fc2.Set != fc.Set || fc2.CacheKB < fc.CacheKB || fc2.CacheKB%fc.CacheKB != 0 {
+								continue
+							}
+							cfg2 := MachineConfig(opts.Scale, fc2.CacheKB<<10)
+							sp.apply(&cfg2)
+							k2 := runKey(entry.Code, cfg2, sys, app.Name(), appFields, nil)
+							if !cp.Cache.Contains(k2) {
+								cp.Cache.Put(entry.WithKey(k2, fig3Witness(fc.CacheKB)))
+							}
+						}
+					}
 				}
 				return out, nil
 			})

@@ -39,6 +39,8 @@ type Fig4Options struct {
 	// zero values reproduce the paper's contention-free machine.
 	LinkBytesPerCycle int
 	OccupancyCycles   sim.Time
+	// Cache supplies a shared result cache (zero value = no caching).
+	Cache CacheParams
 	// Progress, when non-nil, is called after each simulation finishes.
 	Progress func(done, total int)
 }
@@ -69,7 +71,7 @@ func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 			jobs = append(jobs, func(context.Context) (em3dRun, error) {
 				ecfg := EM3DConfig(opts.Scale, set)
 				ecfg.PctRemote = pct
-				return runEM3DOn(mcfg, sys, ecfg)
+				return runEM3DOn(opts.Cache, mcfg, sys, ecfg)
 			})
 		}
 	}
@@ -99,26 +101,27 @@ type em3dRun struct {
 	edges int
 }
 
-// runEM3DOn runs one EM3D instance on one system and reports the
-// measured region plus the per-processor edges per iteration.
-func runEM3DOn(mcfg machine.Config, system System, ecfg em3d.Config) (em3dRun, error) {
+// runEM3DOn runs one EM3D instance on one system — through the result
+// cache when one is supplied — and reports the measured region plus
+// the per-processor edges per iteration. The edge count is computed
+// from the configuration (the same partition formula App.Setup uses)
+// rather than read off an app instance, so a cache hit needs no app.
+func runEM3DOn(cp CacheParams, mcfg machine.Config, system System, ecfg em3d.Config) (em3dRun, error) {
+	var rr RunResult
+	var err error
 	if system == SysUpdate {
-		rr, err := RunEM3DUpdate(mcfg, ecfg)
-		if err != nil {
-			return em3dRun{}, err
-		}
-		per := apps.CeilDiv(ecfg.TotalNodes/2, mcfg.Nodes)
-		if per == 0 {
-			per = 1
-		}
-		return em3dRun{roi: rr.Res.ROICycles, edges: 2 * per * ecfg.Degree}, nil
+		rr, err = RunEM3DUpdateCached(cp, mcfg, ecfg)
+	} else {
+		rr, err = RunCached(cp, mcfg, system, em3d.New(ecfg))
 	}
-	app := em3d.New(ecfg)
-	rr, err := Run(mcfg, system, app)
 	if err != nil {
 		return em3dRun{}, err
 	}
-	return em3dRun{roi: rr.Res.ROICycles, edges: app.EdgesPerProcPerIter()}, nil
+	per := apps.CeilDiv(ecfg.TotalNodes/2, mcfg.Nodes)
+	if per == 0 {
+		per = 1
+	}
+	return em3dRun{roi: rr.Res.ROICycles, edges: 2 * per * ecfg.Degree}, nil
 }
 
 // RenderFigure4 prints the Figure 4 series.

@@ -266,6 +266,10 @@ type SimParams struct {
 	// OccupancyCycles is machine.Config.OccupancyCycles: protocol-agent
 	// service occupancy per message (0 = unbounded concurrency).
 	OccupancyCycles sim.Time
+	// Cache threads the result cache through the sweep (zero value =
+	// no caching). Not a machine knob — apply ignores it; the run
+	// funnels consult it.
+	Cache CacheParams
 }
 
 // apply copies the params onto a machine config.

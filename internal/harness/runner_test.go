@@ -200,6 +200,49 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Errorf("refetch parallel != serial: %v vs %v", a, b)
 		}
 	})
+	t.Run("result-cache", func(t *testing.T) {
+		// The result cache is a pure memoization layer: a sweep with it
+		// (witness aliases included), a sweep without it, and a second
+		// sweep served entirely from the warm cache must all render
+		// bit-identical cells.
+		base := Fig3Options{
+			Scale:   ScaleReduced,
+			Apps:    []string{"appbt"},
+			Configs: []Fig3Config{{SetSmall, 4}, {SetSmall, 16}, {SetSmall, 64}},
+			Workers: 4,
+		}
+		cp, err := NewCacheParams("", false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached := base
+		cached.Cache = cp
+		uncached := base
+		uncached.NoDedup = true
+		a, err := Figure3(cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure3(uncached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("cache on != cache off:\n%+v\n%+v", a, b)
+		}
+		warm := cached
+		warm.Shards = 2 // the warm entries were recorded at shards=1
+		c, err := Figure3(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, c) {
+			t.Errorf("warm cache != cold sweep:\n%+v\n%+v", a, c)
+		}
+		if s := cp.Cache.Stats(); s.Misses != 4 || s.Hits != 8 || s.Stores != 6 {
+			t.Errorf("stats = %+v, want 4 cold misses, 8 hits (2 witness + 6 warm), 6 stores (4 fresh + 2 aliases)", s)
+		}
+	})
 }
 
 // TestFigure3ErrorPropagates checks fail-fast error aggregation through

@@ -138,6 +138,14 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// Normalized returns the configuration with defaults applied — the
+// canonical form the result cache keys on, where an explicit
+// Table 2 value and a zero that defaults to it digest identically.
+func (c Config) Normalized() Config {
+	c.applyDefaults()
+	return c
+}
+
 // MemSystem is the pluggable memory system behind the CPU cache: the
 // Typhoon node (tags + NP + user-level protocol) or the DirNNB hardware
 // directory.
@@ -318,6 +326,11 @@ type Result struct {
 	Counters *stats.Counters
 	// Net is the interconnect traffic summary.
 	Net network.Stats
+	// ObsHashes and ObsOps record each processor's final observation
+	// (hash and folded-op count) in node order when observation was
+	// enabled — nil otherwise. The differential harness and the result
+	// cache both read them from here rather than re-walking Procs.
+	ObsHashes, ObsOps []uint64
 }
 
 // Run executes body once per node as an SPMD program and returns the
@@ -359,6 +372,13 @@ func (m *Machine) Run(body func(*Proc)) (Result, error) {
 	res.Counters = stats.NewCounters()
 	for _, p := range m.Procs {
 		p.foldCounters(res.Counters)
+	}
+	if m.Procs[0].obs != nil {
+		res.ObsHashes = make([]uint64, len(m.Procs))
+		res.ObsOps = make([]uint64, len(m.Procs))
+		for i, p := range m.Procs {
+			res.ObsHashes[i], res.ObsOps[i] = p.Observation()
+		}
 	}
 	res.Counters.Merge(m.Sys.Counters())
 	res.Net = m.Net.Stats()

@@ -1,0 +1,358 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// entryForKey builds a distinct valid entry stored under a key derived
+// from id.
+func entryForKey(id int) *Entry {
+	e := sampleEntry()
+	e.Key = NewKey().Int("test.id", int64(id)).Sum()
+	e.Cycles = uint64(1000 + id)
+	return e
+}
+
+// diskPath mirrors Cache.path for tests that damage entries in place.
+func diskPath(dir string, k Key) string {
+	hex := k.String()
+	return filepath.Join(dir, hex[:2], hex+".entry")
+}
+
+func TestCacheMemoryHitAndMiss(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Persistent() {
+		t.Error("memory-only cache claims to be persistent")
+	}
+	e := entryForKey(1)
+	if got, err := c.Get(e.Key); got != nil || err != nil {
+		t.Fatalf("Get on empty cache = (%v, %v), want (nil, nil)", got, err)
+	}
+	c.Put(e)
+	got, err := c.Get(e.Key)
+	if err != nil || got == nil || got.Cycles != e.Cycles {
+		t.Fatalf("Get after Put = (%+v, %v)", got, err)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 store", s)
+	}
+}
+
+func TestCachePersistsAcrossProcessesAndPromotes(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Persistent() {
+		t.Fatal("disk-backed cache claims not to be persistent")
+	}
+	e := entryForKey(2)
+	a.Put(e)
+	if _, err := os.Stat(diskPath(dir, e.Key)); err != nil {
+		t.Fatalf("entry file missing after Put: %v", err)
+	}
+
+	// A fresh Cache over the same directory simulates a new process:
+	// empty memory tier, warm disk tier.
+	b, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(e.Key)
+	if err != nil || got == nil || got.Cycles != e.Cycles {
+		t.Fatalf("warm Get = (%+v, %v)", got, err)
+	}
+	if s := b.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("warm stats = %+v, want pure hit", s)
+	}
+	// The disk hit was promoted into memory: delete the file and the
+	// entry must still be served.
+	if err := os.Remove(diskPath(dir, e.Key)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Get(e.Key); err != nil || got == nil {
+		t.Fatalf("Get after promotion = (%+v, %v), want memory hit", got, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := New(Options{MemEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2, e3 := entryForKey(1), entryForKey(2), entryForKey(3)
+	c.Put(e1)
+	c.Put(e2)
+	if _, err := c.Get(e1.Key); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(e3) // evicts e2, the least recently used
+	if got, _ := c.Get(e2.Key); got != nil {
+		t.Error("evicted entry still resident")
+	}
+	for _, e := range []*Entry{e1, e3} {
+		if got, _ := c.Get(e.Key); got == nil {
+			t.Errorf("entry %d evicted out of LRU order", e.Cycles)
+		}
+	}
+	// With a disk tier, memory eviction only costs a re-read.
+	dir := t.TempDir()
+	d, err := New(Options{Dir: dir, MemEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(e1)
+	d.Put(e2) // e1 falls out of the single memory slot
+	if got, err := d.Get(e1.Key); err != nil || got == nil || got.Cycles != e1.Cycles {
+		t.Fatalf("Get of memory-evicted entry = (%+v, %v), want disk hit", got, err)
+	}
+}
+
+// TestCacheDamagedEntryFallback is the satellite contract: corrupted,
+// truncated, and version-skewed on-disk entries must surface as a
+// structured *Error plus a cache.corrupt count — never a panic — and
+// leave the caller free to fall back to simulation and overwrite the
+// damaged file.
+func TestCacheDamagedEntryFallback(t *testing.T) {
+	damage := []struct {
+		name string
+		mut  func(t *testing.T, data []byte) []byte
+	}{
+		{"corrupt", func(t *testing.T, data []byte) []byte {
+			return bytes.Replace(data, []byte("cycles"), []byte("cYcles"), 1)
+		}},
+		{"truncated", func(t *testing.T, data []byte) []byte {
+			return data[:len(data)*2/3]
+		}},
+		{"version-skew", func(t *testing.T, data []byte) []byte {
+			return resign(t, bytes.Replace(data, []byte(entryMagic+"\n"), []byte("tempest-resultcache v99\n"), 1))
+		}},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			dir := t.TempDir()
+			a, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := entryForKey(7)
+			a.Put(e)
+			path := diskPath(dir, e.Key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, d.mut(t, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			c, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gerr := c.Get(e.Key)
+			if got != nil {
+				t.Fatalf("damaged entry decoded to %+v", got)
+			}
+			var re *Error
+			if !errors.As(gerr, &re) || re.Op != "decode" {
+				t.Fatalf("Get error = %v, want decode *Error", gerr)
+			}
+			if re.Path != path {
+				t.Errorf("error path = %q, want %q", re.Path, path)
+			}
+			if s := c.Stats(); s.Corrupt != 1 || s.Hits != 0 {
+				t.Errorf("stats = %+v, want exactly 1 corrupt, 0 hits", s)
+			}
+			// The fallback path: re-simulate, Put, and the key serves again.
+			c.Put(e)
+			if got, err := c.Get(e.Key); err != nil || got == nil || got.Cycles != e.Cycles {
+				t.Fatalf("Get after overwrite = (%+v, %v)", got, err)
+			}
+			if s := c.Stats(); s.Errors != 0 {
+				t.Errorf("overwrite counted %d write errors", s.Errors)
+			}
+		})
+	}
+}
+
+func TestCacheMisfiledEntryIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryForKey(8)
+	c.Put(e)
+	// File a valid entry under a different key's path.
+	other := NewKey().Str("other", "slot").Sum()
+	src := diskPath(dir, e.Key)
+	dst := diskPath(dir, other)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, gerr := c.Get(other)
+	var re *Error
+	if got != nil || !errors.As(gerr, &re) || re.Op != "decode" {
+		t.Fatalf("misfiled Get = (%+v, %v), want decode *Error", got, gerr)
+	}
+	if s := c.Stats(); s.Corrupt != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt", s)
+	}
+}
+
+func TestContainsHasNoTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryForKey(9)
+	if c.Contains(e.Key) {
+		t.Error("Contains true on empty cache")
+	}
+	c.Put(e)
+	if !c.Contains(e.Key) {
+		t.Error("Contains false after Put")
+	}
+	// A second process sees it through the disk tier alone.
+	b, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(e.Key) {
+		t.Error("Contains false through disk tier")
+	}
+	want := Stats{Stores: 1}
+	if s := c.Stats(); s != want {
+		t.Errorf("Contains moved telemetry: %+v", s)
+	}
+	if s := b.Stats(); (s != Stats{}) {
+		t.Errorf("disk Contains moved telemetry: %+v", s)
+	}
+}
+
+func TestShouldVerify(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey().Str("a", "b").Sum()
+	if c.ShouldVerify(k, 0) {
+		t.Error("fraction 0 selected a key")
+	}
+	if !c.ShouldVerify(k, 1) {
+		t.Error("fraction 1 skipped a key")
+	}
+	// Deterministic: the same key gives the same answer every time.
+	first := c.ShouldVerify(k, 0.5)
+	for i := 0; i < 10; i++ {
+		if c.ShouldVerify(k, 0.5) != first {
+			t.Fatal("ShouldVerify is not deterministic")
+		}
+	}
+	// Roughly proportional: the hash threshold should select about
+	// fraction*n of n distinct keys. Bounds are loose (±10 points on
+	// 2000 keys) — this is a sanity check, not a statistics suite.
+	const n = 2000
+	selected := 0
+	for i := 0; i < n; i++ {
+		if c.ShouldVerify(NewKey().Int("i", int64(i)).Sum(), 0.5) {
+			selected++
+		}
+	}
+	if selected < n*4/10 || selected > n*6/10 {
+		t.Errorf("fraction 0.5 selected %d of %d keys", selected, n)
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryForKey(10)
+	c.Put(e)
+	if _, err := c.Get(e.Key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(NewKey().Str("missing", "x").Sum()); err != nil {
+		t.Fatal(err)
+	}
+	c.NoteVerified()
+	ctr := c.Counters()
+	for name, want := range map[string]uint64{
+		"cache.hits": 1, "cache.misses": 1, "cache.stores": 1,
+		"cache.verified": 1, "cache.corrupt": 0,
+	} {
+		if got := ctr.Get(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	wantStr := "1 hits, 1 misses, 1 stores, 1 verified, 0 corrupt"
+	if got := c.Stats().String(); got != wantStr {
+		t.Errorf("Stats.String() = %q, want %q", got, wantStr)
+	}
+}
+
+func TestCodeDigest(t *testing.T) {
+	d1, err := CodeDigest()
+	if err != nil {
+		t.Fatalf("CodeDigest: %v", err)
+	}
+	if len(d1) != 16 {
+		t.Errorf("digest %q is not 16 hex chars", d1)
+	}
+	d2, err := CodeDigest()
+	if err != nil || d2 != d1 {
+		t.Errorf("CodeDigest unstable: %q then (%q, %v)", d1, d2, err)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := New(Options{Dir: t.TempDir(), MemEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				e := entryForKey(i % 16)
+				c.Put(e)
+				got, err := c.Get(e.Key)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got == nil || got.Cycles != e.Cycles {
+					done <- fmt.Errorf("worker %d: Get(%d) = %+v", w, i%16, got)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

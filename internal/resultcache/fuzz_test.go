@@ -1,0 +1,78 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCacheEntry feeds Decode arbitrary bytes and requires the decode
+// contract that Cache.Get's fallback depends on: every input either
+// decodes to an entry whose re-encoding is byte-identical (canonical
+// form is unique) or fails with a structured *Error — never a panic,
+// never a silently lossy parse.
+func FuzzCacheEntry(f *testing.F) {
+	valid := sampleEntry().Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])                                        // truncated
+	f.Add([]byte("tempest-resultcache v99\nx\n"))                      // version skew
+	f.Add([]byte("not a cache entry\n"))                               // bad magic
+	f.Add(bytes.Replace(valid, []byte("cycles"), []byte("cYcles"), 1)) // checksum break
+	minimal := (&Entry{Key: NewKey().Sum(), Code: "in-memory", System: "s", App: "a", Counters: map[string]uint64{}}).Encode()
+	f.Add(minimal)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			var re *Error
+			if !errors.As(err, &re) {
+				t.Fatalf("Decode error %T is not a *resultcache.Error: %v", err, err)
+			}
+			if re.Op != "decode" || re.Msg == "" {
+				t.Fatalf("malformed decode error: %+v", re)
+			}
+			return
+		}
+		if re := e.Encode(); !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical input:\n in  %q\n out %q", data, re)
+		}
+	})
+}
+
+// FuzzCacheKey drives the KeyBuilder canonicalization invariants with
+// arbitrary field names and values: insertion order never matters,
+// zero-valued fields never matter, and last-write-wins holds for
+// duplicate names.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("m.nodes", "8", "system", "dirnnb", "pad")
+	f.Add("", "", "", "", "")
+	f.Add("a", "bc", "ab", "c", "0")
+	f.Add("dup", "1", "dup", "2", "false")
+	f.Add("name with spaces", "value\nwith\nnewlines", "\x00", "\xff", "zero")
+	f.Fuzz(func(t *testing.T, n1, v1, n2, v2, zn string) {
+		if n1 != n2 {
+			// Order invariance only holds for distinct names (equal
+			// names are last-write-wins by contract, checked below).
+			ab := NewKey().Set(n1, v1).Set(n2, v2).Sum()
+			ba := NewKey().Set(n2, v2).Set(n1, v1).Sum()
+			if ab != ba {
+				t.Fatalf("insertion order changed key for (%q,%q): %s vs %s", n1, n2, ab, ba)
+			}
+		}
+		// Duplicate names keep the last value.
+		dup := NewKey().Set(n1, v1).Set(n1, v2).Sum()
+		last := NewKey().Set(n1, v2).Sum()
+		if dup != last {
+			t.Fatalf("last-write-wins violated for %q: %s vs %s", n1, dup, last)
+		}
+		// Zero-valued fields are invisible. The pad is set first, so
+		// even a name collision cannot mask a later real write.
+		base := NewKey().Set(n1, v1).Set(n2, v2).Sum()
+		for _, zero := range []string{"", "0", "false"} {
+			padded := NewKey().Set(zn, zero).Set(n1, v1).Set(n2, v2).Sum()
+			if padded != base {
+				t.Fatalf("zero pad %q=%q changed key: %s vs %s", zn, zero, padded, base)
+			}
+		}
+	})
+}
