@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-warm microbench bench-smoke bench-parallel digest-check cache-check profile fuzz-seeds conform
+.PHONY: ci vet build test race bench bench-warm microbench bench-smoke bench-parallel digest-check cache-check fleet-check profile fuzz-seeds conform
 
-ci: vet build race bench-smoke digest-check bench-parallel cache-check fuzz-seeds conform
+ci: vet build race bench-smoke digest-check bench-parallel cache-check fleet-check fuzz-seeds conform
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +84,14 @@ cache-check:
 	$(GO) run ./cmd/bench -cache-dir .cache-check.tmp -check testdata/bench.digest -expect-cached -cache-verify 1.0
 	rm -rf .cache-check.tmp
 
+# fleet-check is the distributed-sweep gate: the reduced bench sweep
+# through a fleet coordinator and two local workers over a unix socket,
+# with one worker killed mid-run, must reproduce the committed digest —
+# lease reassignment, result verification, and remote group sequencing
+# all on the hook.
+fleet-check:
+	bash scripts/fleet_check.sh
+
 # profile runs the bench sweep under the CPU and allocation profilers;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
 profile:
@@ -93,7 +101,7 @@ profile:
 # fuzz-seeds executes the committed seed corpora of the fuzz targets as
 # ordinary tests (no fuzzing engine; deterministic).
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/ ./internal/trace/ ./internal/conform/ ./internal/resultcache/
+	$(GO) test -run='^Fuzz' ./internal/typhoon/ ./internal/stats/ ./internal/trace/ ./internal/conform/ ./internal/resultcache/ ./internal/fleet/
 
 # conform is the trace-replay conformance gate: verify the committed
 # corpus (manifest, decode, standalone replay, tag-machine check), then

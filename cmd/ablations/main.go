@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/tempest-sim/tempest/internal/fleet"
 	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/sim"
 )
@@ -27,6 +28,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (\"\" = in-process memory cache only)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
 	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the sweep")
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -53,12 +55,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	exec, fleetClose, err := fleetFlags.Executor(cp, logf)
+	if err != nil {
+		fail(err)
+	}
+	defer fleetClose()
 	j := *jobs
 	sp := harness.SimParams{
 		Shards:            *shards,
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
 		Cache:             cp,
+		Exec:              exec,
+		PointTimeout:      *fleetFlags.PointTimeout,
 	}
 
 	type ab struct {
@@ -119,6 +131,7 @@ func main() {
 	if *only == "" || *only == "contention" {
 		cells, err := harness.ContentionSweep(harness.ContentionOptions{
 			Scale: sc, Workers: j, Shards: *shards, Cache: cp,
+			Exec: exec, PointTimeout: *fleetFlags.PointTimeout,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ablations: contention:", err)

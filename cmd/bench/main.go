@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tempest-sim/tempest/internal/fleet"
 	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/sim"
 )
@@ -82,6 +83,7 @@ func main() {
 	check := flag.String("check", "", "golden digest file: compare instead of appending, exit 1 on mismatch")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -110,6 +112,13 @@ func main() {
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "bench: result cache at %s (verify fraction %g)\n", *cacheDir, *cacheVerify)
 	}
+	exec, fleetClose, err := fleetFlags.Executor(cp, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer fleetClose()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -141,6 +150,8 @@ func main() {
 			OccupancyCycles:   sim.Time(*occupancy),
 			NoDedup:           *noDedup,
 			Cache:             cp,
+			Exec:              exec,
+			PointTimeout:      *fleetFlags.PointTimeout,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
 			},
@@ -167,6 +178,8 @@ func main() {
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
 		Cache:             cp,
+		Exec:              exec,
+		PointTimeout:      *fleetFlags.PointTimeout,
 	})
 	if err != nil {
 		fail(err)

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/tempest-sim/tempest/internal/fleet"
 	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/sim"
 )
@@ -31,6 +32,7 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
 	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the sweep")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -57,6 +59,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	exec, fleetClose, err := fleetFlags.Executor(cp, logf)
+	if err != nil {
+		fail(err)
+	}
+	defer fleetClose()
 	opts := harness.Fig3Options{
 		Scale:             scale,
 		Workers:           *jobs,
@@ -65,9 +75,9 @@ func main() {
 		OccupancyCycles:   sim.Time(*occupancy),
 		NoDedup:           *noDedup,
 		Cache:             cp,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Exec:              exec,
+		PointTimeout:      *fleetFlags.PointTimeout,
+		Logf:              logf,
 	}
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {

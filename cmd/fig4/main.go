@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/tempest-sim/tempest/internal/fleet"
 	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/sim"
 )
@@ -28,6 +29,7 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
 	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the sweep")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -58,11 +60,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	exec, fleetClose, err := fleetFlags.Executor(cp, logf)
+	if err != nil {
+		fail(err)
+	}
+	defer fleetClose()
 	opts := harness.Fig4Options{
 		Scale: scale, Set: set, Workers: *jobs, Shards: *shards,
 		LinkBytesPerCycle: *linkBW,
 		OccupancyCycles:   sim.Time(*occupancy),
 		Cache:             cp,
+		Exec:              exec,
+		PointTimeout:      *fleetFlags.PointTimeout,
 	}
 	if *pcts != "" {
 		for _, s := range strings.Split(*pcts, ",") {

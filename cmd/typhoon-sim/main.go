@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/tempest-sim/tempest/internal/fleet"
 	"github.com/tempest-sim/tempest/internal/harness"
 	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stats"
@@ -38,6 +39,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (\"\" = in-process memory cache only)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (conflicts with -cache-dir and -cache-verify)")
 	cacheVerify := flag.Float64("cache-verify", 0, "fraction of cache hits to re-simulate and compare [0, 1]; a mismatch fails the run")
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -95,20 +97,32 @@ func main() {
 		fail(err)
 	}
 
-	var runs []harness.Job[harness.RunResult]
-	for _, name := range names {
-		runs = append(runs, func(context.Context) (harness.RunResult, error) {
-			if sys == harness.SysUpdate {
-				return harness.RunEM3DUpdateCached(cp, mcfg, harness.EM3DConfig(scale, set))
-			}
-			bench, err := harness.MakeApp(name, scale, set)
-			if err != nil {
-				return harness.RunResult{}, err
-			}
-			return harness.RunCached(cp, mcfg, sys, bench)
-		})
+	exec, fleetClose, err := fleetFlags.Executor(cp, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "typhoon-sim: "+format+"\n", args...)
+	})
+	if err != nil {
+		fail(err)
 	}
-	results, err := harness.RunAll(runs, *jobs)
+	defer fleetClose()
+	if exec == nil {
+		exec = harness.LocalExecutor{Workers: *jobs, Cache: cp}
+	}
+
+	var points []harness.Point
+	for _, name := range names {
+		pt := harness.Point{Cfg: mcfg, System: sys}
+		if sys == harness.SysUpdate {
+			ec := harness.EM3DConfig(scale, set)
+			pt.EM3D = &ec
+		} else {
+			pt.Bench, pt.Scale, pt.Set = name, scale, set
+		}
+		points = append(points, pt)
+	}
+	results, err := exec.Submit(context.Background(), harness.Batch{
+		Points:       points,
+		PointTimeout: *fleetFlags.PointTimeout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "typhoon-sim:", err)
 		os.Exit(1)

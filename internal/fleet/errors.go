@@ -1,0 +1,43 @@
+// Package fleet distributes sweep points across worker processes: a
+// coordinator leases points to workers over a versioned line protocol,
+// heartbeats the leases, reassigns points on worker loss or lease
+// expiry, retries with capped backoff, deduplicates double-completions
+// (first valid result per point key wins), and verifies every remote
+// result against the result cache's canonical key/digest machinery
+// before accepting it. The coordinator implements harness.Executor, so
+// every sweep runs on a fleet exactly as it runs on the in-process
+// pool — bit-identically, by the repo's determinism guarantee.
+package fleet
+
+import "fmt"
+
+// Error is the package's structured error: every protocol violation,
+// verification failure, and exhausted retry surfaces as one, naming
+// the operation, the peer, and the sweep point involved.
+type Error struct {
+	// Op is the failing operation ("decode", "handshake", "lease",
+	// "verify", "submit", ...).
+	Op string
+	// Worker names the peer connection when one is involved.
+	Worker string
+	// Point labels the sweep point when one is involved.
+	Point string
+	// Msg describes the failure.
+	Msg string
+}
+
+func (e *Error) Error() string {
+	s := "fleet: " + e.Op
+	if e.Worker != "" {
+		s += " " + e.Worker
+	}
+	if e.Point != "" {
+		s += " [" + e.Point + "]"
+	}
+	return s + ": " + e.Msg
+}
+
+// errf builds an *Error in place.
+func errf(op, worker, point, format string, args ...any) *Error {
+	return &Error{Op: op, Worker: worker, Point: point, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"flag"
+	"time"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+)
+
+// Flags is the standard distributed-sweep flag triple every sweep
+// binary exposes. Register with RegisterFlags, then build the executor
+// after the cache flags are resolved.
+type Flags struct {
+	Fleet        *string
+	WorkersAddr  *string
+	PointTimeout *time.Duration
+}
+
+// RegisterFlags installs -fleet, -workers-addr, and -point-timeout on
+// fs (use flag.CommandLine from main).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Fleet: fs.String("fleet", "",
+			"submit the sweep to the fleet coordinator at this address (host:port, or a unix socket path containing '/')"),
+		WorkersAddr: fs.String("workers-addr", "",
+			"run an embedded fleet coordinator for this sweep, listening for workers on this address"),
+		PointTimeout: fs.Duration("point-timeout", 0,
+			"per-point wall-clock limit (0 = none); a point exceeding it fails the sweep with an error naming the point"),
+	}
+}
+
+// Executor resolves the flags into an executor (nil = use the local
+// pool) and a closer to defer.
+func (f *Flags) Executor(cp harness.CacheParams, logf func(string, ...any)) (harness.Executor, func() error, error) {
+	return NewExecutor(*f.Fleet, *f.WorkersAddr, cp, logf)
+}

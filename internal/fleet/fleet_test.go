@@ -1,0 +1,584 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/harness"
+	"github.com/tempest-sim/tempest/internal/machine"
+	"github.com/tempest-sim/tempest/internal/resultcache"
+)
+
+// tinyPoint is a fast, distinct-per-seed sweep point.
+func tinyPoint(seed uint64) harness.Point {
+	ecfg := em3d.Tiny()
+	ecfg.Seed = seed
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = 4
+	return harness.Point{Cfg: cfg, System: harness.SysStache, EM3D: &ecfg}
+}
+
+func memCache(t *testing.T) harness.CacheParams {
+	t.Helper()
+	cp, err := harness.NewCacheParams("", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// fastOpts is a coordinator tuned for test-speed fault handling.
+func fastOpts(cp harness.CacheParams) CoordinatorOptions {
+	return CoordinatorOptions{
+		Cache:       cp,
+		LeaseTTL:    60 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+	}
+}
+
+func newTestCoordinator(t *testing.T, opts CoordinatorOptions) *Coordinator {
+	t.Helper()
+	if testing.Verbose() {
+		opts.Logf = t.Logf
+	}
+	co := NewCoordinator(opts)
+	t.Cleanup(func() { co.Close() })
+	return co
+}
+
+// startWorker attaches an in-process worker over a pipe.
+func startWorker(t *testing.T, co *Coordinator, opts WorkerOptions) {
+	t.Helper()
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = 10 * time.Millisecond
+	}
+	a, b := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go co.ServeConn(a)
+	go RunWorker(ctx, b, opts)
+}
+
+// script is a hand-driven protocol peer for fault injection.
+type script struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// connectScript opens a raw connection to the coordinator and completes
+// the handshake in the given role.
+func connectScript(t *testing.T, co *Coordinator, role string) *script {
+	t.Helper()
+	a, b := net.Pipe()
+	go co.ServeConn(a)
+	b.SetDeadline(time.Now().Add(10 * time.Second))
+	t.Cleanup(func() { b.Close() })
+	s := &script{t: t, conn: b, br: bufio.NewReader(b)}
+	s.send(Msg{Verb: "hello", Args: []string{Proto, role, harness.CodeID()}})
+	if m := s.read(); m.Verb != "welcome" {
+		t.Fatalf("handshake: got %s, want welcome", m.Verb)
+	}
+	return s
+}
+
+func (s *script) send(m Msg) {
+	s.t.Helper()
+	if _, err := s.conn.Write(m.Encode()); err != nil {
+		s.t.Fatalf("script write: %v", err)
+	}
+}
+
+func (s *script) read() Msg {
+	s.t.Helper()
+	m, err := ReadMsg(s.br)
+	if err != nil {
+		s.t.Fatalf("script read: %v", err)
+	}
+	return m
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sameRun compares the simulated content of two results, ignoring the
+// engine.* counters a local fresh run carries and a wire entry (by
+// design) does not.
+func sameRun(t *testing.T, label string, got, want harness.RunResult) {
+	t.Helper()
+	if got.System != want.System || got.App != want.App {
+		t.Errorf("%s: identity differs: %s/%s vs %s/%s", label, got.System, got.App, want.System, want.App)
+	}
+	if got.Res.Cycles != want.Res.Cycles || got.Res.ROICycles != want.Res.ROICycles {
+		t.Errorf("%s: cycles differ: %d/%d vs %d/%d", label,
+			got.Res.Cycles, got.Res.ROICycles, want.Res.Cycles, want.Res.ROICycles)
+	}
+	ctrs := func(rr harness.RunResult) map[string]uint64 {
+		m := make(map[string]uint64)
+		for _, name := range rr.Res.Counters.Names() {
+			if !strings.HasPrefix(name, "engine.") {
+				m[name] = rr.Res.Counters.Get(name)
+			}
+		}
+		return m
+	}
+	if g, w := ctrs(got), ctrs(want); !reflect.DeepEqual(g, w) {
+		t.Errorf("%s: counters differ:\n%v\n%v", label, g, w)
+	}
+	if !reflect.DeepEqual(got.Res.Net, want.Res.Net) {
+		t.Errorf("%s: network stats differ", label)
+	}
+}
+
+// localBaseline runs the same points on the in-process pool.
+func localBaseline(t *testing.T, pts []harness.Point) []harness.PointResult {
+	t.Helper()
+	res, err := harness.LocalExecutor{Workers: 2}.Submit(context.Background(), harness.Batch{Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFleetMatchesLocal(t *testing.T) {
+	pts := []harness.Point{tinyPoint(1), tinyPoint(2), tinyPoint(3), tinyPoint(4)}
+	co := newTestCoordinator(t, fastOpts(memCache(t)))
+	startWorker(t, co, WorkerOptions{})
+	startWorker(t, co, WorkerOptions{})
+	got, err := co.Submit(context.Background(), harness.Batch{Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localBaseline(t, pts)
+	for i := range pts {
+		sameRun(t, pts[i].Label(), got[i].RunResult, want[i].RunResult)
+	}
+	if s := co.Stats(); s.Completed != 4 || s.Failed != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+// TestFleetFaultPaths drives each injected failure through a scripted
+// first worker and checks the sweep still converges, on a healthy
+// second worker, to the same results the local pool produces.
+func TestFleetFaultPaths(t *testing.T) {
+	pts := []harness.Point{tinyPoint(11), tinyPoint(12), tinyPoint(13)}
+	want := localBaseline(t, pts)
+
+	divergent := func() []byte {
+		e := &resultcache.Entry{Code: harness.CodeID(), System: "typhoon-stache", App: "em3d",
+			Cycles: 1, ROI: 1, Counters: map[string]uint64{}}
+		e.Key = resultcache.Key{0xde, 0xad}
+		return e.Encode()
+	}
+
+	cases := []struct {
+		name string
+		// respond handles one lease on the scripted worker; returning
+		// false stops the script (connection stays open but silent).
+		respond func(s *script, id string, payload []byte) bool
+		check   func(t *testing.T, s Stats)
+	}{
+		{
+			name: "kill-worker-mid-lease",
+			respond: func(s *script, id string, payload []byte) bool {
+				s.conn.Close()
+				return false
+			},
+			check: func(t *testing.T, s Stats) {
+				if s.Reassigned == 0 {
+					t.Errorf("no reassignment recorded: %+v", s)
+				}
+			},
+		},
+		{
+			name: "lease-expiry-under-stalled-worker",
+			respond: func(s *script, id string, payload []byte) bool {
+				return false // hold the lease silently; no heartbeat, no result
+			},
+			check: func(t *testing.T, s Stats) {
+				if s.Expired == 0 {
+					t.Errorf("no expiry recorded: %+v", s)
+				}
+			},
+		},
+		{
+			name: "corrupted-result",
+			respond: func(s *script, id string, payload []byte) bool {
+				s.send(Msg{Verb: "result", Args: []string{id}, Payload: []byte("not an entry")})
+				return false
+			},
+			check: func(t *testing.T, s Stats) {
+				if s.Rejected == 0 {
+					t.Errorf("no rejection recorded: %+v", s)
+				}
+			},
+		},
+		{
+			name: "divergent-result",
+			respond: func(s *script, id string, payload []byte) bool {
+				s.send(Msg{Verb: "result", Args: []string{id}, Payload: divergent()})
+				return false
+			},
+			check: func(t *testing.T, s Stats) {
+				if s.Rejected == 0 {
+					t.Errorf("no rejection recorded: %+v", s)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			co := newTestCoordinator(t, fastOpts(memCache(t)))
+			s := connectScript(t, co, "worker")
+			s.send(Msg{Verb: "ready", Args: []string{"1"}})
+			// The scripted worker must hold a lease before the healthy
+			// worker joins, so the injected fault is actually exercised.
+			leased := make(chan struct{})
+			go func() {
+				m, err := ReadMsg(s.br)
+				if err != nil || m.Verb != "lease" {
+					close(leased)
+					return
+				}
+				close(leased)
+				tc.respond(s, m.Args[0], m.Payload)
+			}()
+			results := make(chan error, 1)
+			var got []harness.PointResult
+			go func() {
+				var err error
+				got, err = co.Submit(context.Background(), harness.Batch{Points: pts})
+				results <- err
+			}()
+			<-leased
+			startWorker(t, co, WorkerOptions{Slots: 2})
+			if err := <-results; err != nil {
+				t.Fatal(err)
+			}
+			for i := range pts {
+				sameRun(t, pts[i].Label(), got[i].RunResult, want[i].RunResult)
+			}
+			tc.check(t, co.Stats())
+		})
+	}
+}
+
+// TestFleetDuplicateCompletion has a slow worker answer a lease the
+// coordinator already re-assigned and saw completed: the late valid
+// result is counted as a duplicate and the first result stands.
+func TestFleetDuplicateCompletion(t *testing.T) {
+	pt := tinyPoint(21)
+	co := newTestCoordinator(t, fastOpts(memCache(t)))
+	s := connectScript(t, co, "worker")
+	s.send(Msg{Verb: "ready", Args: []string{"1"}})
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.Submit(context.Background(), harness.Batch{Points: []harness.Point{pt}})
+		done <- err
+	}()
+	m := s.read()
+	if m.Verb != "lease" {
+		t.Fatalf("got %s, want lease", m.Verb)
+	}
+	// Stall past the TTL, let a healthy worker complete the point...
+	waitFor(t, "lease expiry", func() bool { return co.Stats().Expired >= 1 })
+	startWorker(t, co, WorkerOptions{})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// ...then deliver the stalled worker's (valid) result late.
+	leasedPt, err := harness.DecodePoint(m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, entry, err := harness.RunPointEntry(harness.CacheParams{}, leasedPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.send(Msg{Verb: "result", Args: []string{m.Args[0]}, Payload: entry.Encode()})
+	waitFor(t, "duplicate accounting", func() bool { return co.Stats().Duplicates >= 1 })
+	if s := co.Stats(); s.Completed != 1 {
+		t.Errorf("first valid result should win exactly once: %+v", s)
+	}
+}
+
+// TestFleetMaxAttemptsExhausted: every worker returns garbage, so the
+// point burns its lease budget and the sweep fails with a structured
+// error naming the point.
+func TestFleetMaxAttemptsExhausted(t *testing.T) {
+	pt := tinyPoint(31)
+	opts := fastOpts(memCache(t))
+	opts.MaxAttempts = 2
+	co := newTestCoordinator(t, opts)
+	for i := 0; i < 2; i++ {
+		s := connectScript(t, co, "worker")
+		s.send(Msg{Verb: "ready", Args: []string{"1"}})
+		go func(s *script) {
+			m, err := ReadMsg(s.br)
+			if err != nil || m.Verb != "lease" {
+				return
+			}
+			s.send(Msg{Verb: "result", Args: []string{m.Args[0]}, Payload: []byte("garbage")})
+		}(s)
+	}
+	_, err := co.Submit(context.Background(), harness.Batch{Points: []harness.Point{pt}})
+	if err == nil {
+		t.Fatal("sweep succeeded on garbage results")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %T %v, want *fleet.Error", err, err)
+	}
+	if !strings.Contains(err.Error(), "gave up after 2 attempts") || !strings.Contains(err.Error(), pt.Label()) {
+		t.Errorf("error should name the point and the exhausted budget: %v", err)
+	}
+}
+
+func TestFleetObservedPointsRejected(t *testing.T) {
+	pt := tinyPoint(41)
+	pt.Observed = true
+	pt.NoCache = true
+	co := newTestCoordinator(t, fastOpts(harness.CacheParams{}))
+	if _, err := co.Submit(context.Background(), harness.Batch{Points: []harness.Point{pt}}); err == nil ||
+		!strings.Contains(err.Error(), "local-only") {
+		t.Errorf("coordinator: %v", err)
+	}
+	// The client rejects before even dialing.
+	cl := &Client{Addr: "127.0.0.1:1"}
+	if _, err := cl.Submit(context.Background(), harness.Batch{Points: []harness.Point{pt}}); err == nil ||
+		!strings.Contains(err.Error(), "local-only") {
+		t.Errorf("client: %v", err)
+	}
+}
+
+func TestFleetHandshakeRejects(t *testing.T) {
+	co := newTestCoordinator(t, fastOpts(harness.CacheParams{}))
+	cases := []struct {
+		name  string
+		hello Msg
+		want  string
+	}{
+		{"protocol skew", Msg{Verb: "hello", Args: []string{"tempest-fleet/9", "worker", harness.CodeID()}}, "protocol mismatch"},
+		{"code skew", Msg{Verb: "hello", Args: []string{Proto, "worker", "0123456789abcdef"}}, "code digest mismatch"},
+		{"unknown role", Msg{Verb: "hello", Args: []string{Proto, "gopher", harness.CodeID()}}, "unknown role"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := net.Pipe()
+			go co.ServeConn(a)
+			defer b.Close()
+			b.SetDeadline(time.Now().Add(5 * time.Second))
+			if _, err := b.Write(tc.hello.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			m, err := ReadMsg(bufio.NewReader(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Verb != "reject" || !strings.Contains(string(m.Payload), tc.want) {
+				t.Errorf("got %s %q, want reject mentioning %q", m.Verb, m.Payload, tc.want)
+			}
+		})
+	}
+}
+
+// TestFleetCacheHitsServeWithoutLeasing: a warm coordinator cache
+// answers a whole batch with zero leases — the warm-cache compose the
+// flags are documented to support.
+func TestFleetCacheHitsServeWithoutLeasing(t *testing.T) {
+	pts := []harness.Point{tinyPoint(51), tinyPoint(52)}
+	co := newTestCoordinator(t, fastOpts(memCache(t)))
+	startWorker(t, co, WorkerOptions{})
+	if _, err := co.Submit(context.Background(), harness.Batch{Points: pts}); err != nil {
+		t.Fatal(err)
+	}
+	leases := co.Stats().Leases
+	if _, err := co.Submit(context.Background(), harness.Batch{Points: pts}); err != nil {
+		t.Fatal(err)
+	}
+	s := co.Stats()
+	if s.Leases != leases {
+		t.Errorf("warm resubmit leased points: %+v", s)
+	}
+	if s.CacheHits < 2 {
+		t.Errorf("warm resubmit should be all cache hits: %+v", s)
+	}
+}
+
+// TestFleetDedupsConcurrentIdenticalPoints: two ungrouped identical
+// points in one batch share a single lease (in-flight dedup by point
+// key); a grouped identical pair runs sequentially, so the second is a
+// cache hit instead.
+func TestFleetDedupsConcurrentIdenticalPoints(t *testing.T) {
+	pt := tinyPoint(61)
+	co := newTestCoordinator(t, fastOpts(memCache(t)))
+	startWorker(t, co, WorkerOptions{Slots: 2})
+	got, err := co.Submit(context.Background(), harness.Batch{Points: []harness.Point{pt, pt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := co.Stats(); s.Leases != 1 || s.Completed != 1 {
+		t.Errorf("identical points should share one lease: %+v", s)
+	}
+	sameRun(t, "dedup pair", got[0].RunResult, got[1].RunResult)
+
+	g := tinyPoint(62)
+	g.Group = "seq"
+	co2 := newTestCoordinator(t, fastOpts(memCache(t)))
+	startWorker(t, co2, WorkerOptions{Slots: 2})
+	if _, err := co2.Submit(context.Background(), harness.Batch{Points: []harness.Point{g, g}}); err != nil {
+		t.Fatal(err)
+	}
+	if s := co2.Stats(); s.Leases != 1 || s.CacheHits != 1 {
+		t.Errorf("grouped pair should lease once then hit the cache: %+v", s)
+	}
+}
+
+// TestFleetPointTimeout: the coordinator forwards the batch's point
+// timeout; the worker enforces it and the sweep fails with an error
+// naming the point.
+func TestFleetPointTimeout(t *testing.T) {
+	ecfg := em3d.Tiny()
+	ecfg.Iters = 100000 // long enough to trip a 1ms budget reliably
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = 4
+	pt := harness.Point{Cfg: cfg, System: harness.SysStache, EM3D: &ecfg}
+	co := newTestCoordinator(t, fastOpts(harness.CacheParams{}))
+	startWorker(t, co, WorkerOptions{})
+	_, err := co.Submit(context.Background(), harness.Batch{
+		Points:       []harness.Point{pt},
+		PointTimeout: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("timeout did not fire")
+	}
+	if !strings.Contains(err.Error(), pt.Label()) || !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("error should name the point and the timeout: %v", err)
+	}
+}
+
+// TestFleetClientEndToEnd exercises the full remote-submission path
+// over a Unix socket: client -> coordinator -> worker and back, with
+// progress streaming and client-side verification.
+func TestFleetClientEndToEnd(t *testing.T) {
+	pts := []harness.Point{tinyPoint(71), tinyPoint(72), tinyPoint(73)}
+	want := localBaseline(t, pts)
+	sock := filepath.Join(t.TempDir(), "fleet.sock")
+	exec, closer, err := NewExecutor("", sock, memCache(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closer() })
+	co := exec.(*Coordinator)
+	wconn, err := DialRetry(sock, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go RunWorker(ctx, wconn, WorkerOptions{Slots: 2, HeartbeatEvery: 10 * time.Millisecond})
+
+	var progressed atomic.Int32
+	cl := &Client{Addr: sock}
+	got, err := cl.Submit(context.Background(), harness.Batch{
+		Points:   pts,
+		Progress: func(done, total int) { progressed.Store(int32(done)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		sameRun(t, pts[i].Label(), got[i].RunResult, want[i].RunResult)
+	}
+	if progressed.Load() != int32(len(pts)) {
+		t.Errorf("progress reached %d, want %d", progressed.Load(), len(pts))
+	}
+	if s := co.Stats(); s.Completed != uint64(len(pts)) {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+// TestFleetTCPEndToEnd repeats the remote path over TCP loopback.
+func TestFleetTCPEndToEnd(t *testing.T) {
+	pt := tinyPoint(81)
+	co := newTestCoordinator(t, fastOpts(memCache(t)))
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go co.Serve(ln)
+	addr := ln.Addr().String()
+	wconn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go RunWorker(ctx, wconn, WorkerOptions{})
+	got, err := (&Client{Addr: addr}).Submit(context.Background(), harness.Batch{Points: []harness.Point{pt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localBaseline(t, []harness.Point{pt})
+	sameRun(t, pt.Label(), got[0].RunResult, want[0].RunResult)
+}
+
+// TestNewExecutorFlagPairs pins the flag-wiring contract.
+func TestNewExecutorFlagPairs(t *testing.T) {
+	if _, _, err := NewExecutor("a:1", "b:2", harness.CacheParams{}, nil); err == nil {
+		t.Error("both flags set should be rejected")
+	}
+	exec, closer, err := NewExecutor("", "", harness.CacheParams{}, nil)
+	if err != nil || exec != nil {
+		t.Errorf("no flags: exec=%v err=%v, want nil executor", exec, err)
+	}
+	closer()
+	exec, closer, err = NewExecutor("somewhere:1", "", harness.CacheParams{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := exec.(*Client); !ok {
+		t.Errorf("fleet addr should build a *Client, got %T", exec)
+	}
+	closer()
+}
+
+// TestFleetWorkerLogs smoke-tests the fmt verbs in log lines (a
+// mis-paired Logf panics under test via t.Logf's vet pass otherwise
+// going unnoticed).
+func TestFleetWorkerLogs(t *testing.T) {
+	pt := tinyPoint(91)
+	co := newTestCoordinator(t, CoordinatorOptions{
+		Cache: memCache(t),
+		Logf:  func(format string, args ...any) { _ = fmt.Sprintf(format, args...) },
+	})
+	a, b := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go co.ServeConn(a)
+	go RunWorker(ctx, b, WorkerOptions{Logf: func(format string, args ...any) { _ = fmt.Sprintf(format, args...) }})
+	if _, err := co.Submit(context.Background(), harness.Batch{Points: []harness.Point{pt}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tempest-sim/tempest/internal/harness"
+)
+
+// network picks the transport by address shape: anything containing a
+// "/" is a Unix socket path, everything else is a TCP host:port. Tests
+// and CI use sockets to dodge port collisions; real fleets use TCP.
+func network(addr string) string {
+	if strings.Contains(addr, "/") {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// Listen opens the coordinator's listener, clearing a stale socket file
+// left by a killed run.
+func Listen(addr string) (net.Listener, error) {
+	nw := network(addr)
+	if nw == "unix" {
+		if fi, err := os.Stat(addr); err == nil && fi.Mode()&os.ModeSocket != 0 {
+			os.Remove(addr)
+		}
+	}
+	return net.Listen(nw, addr)
+}
+
+// Dial connects to a coordinator address.
+func Dial(addr string) (net.Conn, error) {
+	return net.Dial(network(addr), addr)
+}
+
+// DialRetry dials until the coordinator is listening or the deadline
+// passes — workers typically start in parallel with the coordinator.
+func DialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, errf("dial", addr, "", "no coordinator after %v: %v", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// NewExecutor wires the -fleet/-workers-addr flag pair every binary
+// exposes into an executor:
+//
+//   - -fleet addr: ship batches to the remote coordinator at addr.
+//   - -workers-addr addr: run an embedded coordinator here, listening
+//     for workers (and remote clients) on addr; the sweep's own points
+//     go straight onto its task table.
+//   - neither: return a nil executor — the sweep uses the local pool.
+//
+// The returned closer releases whatever was started; call it when the
+// sweep finishes.
+func NewExecutor(fleetAddr, workersAddr string, cp harness.CacheParams, logf func(string, ...any)) (harness.Executor, func() error, error) {
+	noop := func() error { return nil }
+	switch {
+	case fleetAddr != "" && workersAddr != "":
+		return nil, nil, fmt.Errorf("fleet: -fleet and -workers-addr are mutually exclusive (be a client or a coordinator, not both)")
+	case fleetAddr != "":
+		return &Client{Addr: fleetAddr, Logf: logf}, noop, nil
+	case workersAddr != "":
+		co := NewCoordinator(CoordinatorOptions{Cache: cp, Logf: logf})
+		ln, err := Listen(workersAddr)
+		if err != nil {
+			co.Close()
+			return nil, nil, fmt.Errorf("fleet: listen %s: %w", workersAddr, err)
+		}
+		go co.Serve(ln)
+		closer := func() error {
+			ln.Close()
+			co.Close()
+			if logf != nil {
+				s := co.Stats()
+				logf("fleet: %d workers, %d leases (%d reassigned, %d expired, %d rejected, %d duplicate), %d cache hits, %d completed, %d failed",
+					s.Workers, s.Leases, s.Reassigned, s.Expired, s.Rejected, s.Duplicates, s.CacheHits, s.Completed, s.Failed)
+			}
+			return nil
+		}
+		return co, closer, nil
+	}
+	return nil, noop, nil
+}

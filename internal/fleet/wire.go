@@ -1,0 +1,244 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Proto is the protocol version string exchanged in the handshake.
+// Any mismatch is rejected before work is leased: a mixed-version
+// fleet fails loudly at connect time, never silently mid-sweep.
+const Proto = "tempest-fleet/1"
+
+// Wire format: one message is a single line of space-separated tokens
+//
+//	verb arg1 ... argN [payloadLen]\n
+//
+// followed, for payload-bearing verbs, by exactly payloadLen raw bytes
+// and a trailing '\n'. Lines are capped at maxLine bytes and payloads
+// at maxPayload; the payload length is the line's final token and must
+// be a canonical decimal. Tokens are non-empty and contain neither
+// spaces nor control characters, so Encode∘ReadMsg is the identity on
+// every valid message — the property FuzzFleetMessage pins.
+const (
+	maxLine    = 4096
+	maxPayload = 16 << 20
+)
+
+// verbSpec fixes each verb's argument count (excluding the payload
+// length token) and whether it carries a payload.
+type verbSpec struct {
+	args    int
+	payload bool
+}
+
+// verbs is the full protocol vocabulary.
+//
+//	worker → coordinator: hello, ready, heartbeat, result, fail, bye
+//	coordinator → worker: welcome, reject, lease, bye
+//	client → coordinator: hello, submit, point, end, bye
+//	coordinator → client: welcome, reject, prog, done, perr, complete
+var verbs = map[string]verbSpec{
+	"hello":     {args: 3, payload: false}, // hello <proto> <role> <code>
+	"welcome":   {args: 1, payload: false}, // welcome <code>
+	"reject":    {args: 0, payload: true},  // reject <len> + reason
+	"ready":     {args: 1, payload: false}, // ready <slots>
+	"lease":     {args: 2, payload: true},  // lease <id> <timeout-ms> <len> + point
+	"heartbeat": {args: 1, payload: false}, // heartbeat <id>
+	"result":    {args: 1, payload: true},  // result <id> <len> + cache entry
+	"fail":      {args: 1, payload: true},  // fail <id> <len> + error text
+	"submit":    {args: 2, payload: false}, // submit <n> <timeout-ms>
+	"point":     {args: 1, payload: true},  // point <index> <len> + point
+	"end":       {args: 0, payload: false}, // end (batch fully sent)
+	"prog":      {args: 2, payload: false}, // prog <done> <total>
+	"done":      {args: 1, payload: true},  // done <index> <len> + cache entry
+	"perr":      {args: 1, payload: true},  // perr <index> <len> + error text
+	"complete":  {args: 0, payload: false}, // complete (batch finished)
+	"bye":       {args: 0, payload: false}, // bye (orderly close)
+}
+
+// Msg is one decoded protocol message.
+type Msg struct {
+	Verb    string
+	Args    []string
+	Payload []byte
+}
+
+// validToken reports whether s may appear as a wire token: non-empty,
+// no separators, no control bytes.
+func validToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode renders the message in canonical wire form. It panics on a
+// message this package could not itself have produced (unknown verb,
+// wrong arity, invalid token) — encoding is always of locally built
+// messages, so that is a programming error, not input.
+func (m Msg) Encode() []byte {
+	spec, ok := verbs[m.Verb]
+	if !ok {
+		panic("fleet: encode: unknown verb " + m.Verb)
+	}
+	if len(m.Args) != spec.args {
+		panic(fmt.Sprintf("fleet: encode: %s takes %d args, got %d", m.Verb, spec.args, len(m.Args)))
+	}
+	if !spec.payload && m.Payload != nil {
+		panic("fleet: encode: " + m.Verb + " carries no payload")
+	}
+	var b bytes.Buffer
+	b.WriteString(m.Verb)
+	for _, a := range m.Args {
+		if !validToken(a) {
+			panic(fmt.Sprintf("fleet: encode: invalid %s argument %q", m.Verb, a))
+		}
+		b.WriteByte(' ')
+		b.WriteString(a)
+	}
+	if spec.payload {
+		if len(m.Payload) > maxPayload {
+			panic(fmt.Sprintf("fleet: encode: %s payload of %d bytes exceeds cap", m.Verb, len(m.Payload)))
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(len(m.Payload)))
+	}
+	b.WriteByte('\n')
+	if b.Len() > maxLine {
+		panic(fmt.Sprintf("fleet: encode: %s line of %d bytes exceeds cap", m.Verb, b.Len()))
+	}
+	if spec.payload {
+		b.Write(m.Payload)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// readLine reads one '\n'-terminated line of at most maxLine bytes
+// (newline included). io.EOF at a message boundary is returned as-is;
+// EOF mid-line becomes io.ErrUnexpectedEOF.
+func readLine(r *bufio.Reader) (string, error) {
+	var line []byte
+	for {
+		b, err := r.ReadByte()
+		if err == io.EOF {
+			if len(line) == 0 {
+				return "", io.EOF
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return "", err
+		}
+		if b == '\n' {
+			return string(line), nil
+		}
+		line = append(line, b)
+		if len(line) >= maxLine {
+			return "", errf("decode", "", "", "line exceeds %d bytes", maxLine)
+		}
+	}
+}
+
+// canonUint parses a canonical decimal: digits only, no leading zeros
+// (except "0" itself), within cap.
+func canonUint(s string, limit uint64) (uint64, error) {
+	if s == "" || (len(s) > 1 && s[0] == '0') {
+		return 0, fmt.Errorf("non-canonical integer %q", s)
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("non-canonical integer %q", s)
+	}
+	if v > limit {
+		return 0, fmt.Errorf("%d exceeds cap %d", v, limit)
+	}
+	return v, nil
+}
+
+// ReadMsg decodes the next message from r. Decoding is total: every
+// input yields a Msg, a structured *Error, or io.EOF / io.ErrUnexpectedEOF
+// at stream end — never a panic. A returned Msg re-encodes to exactly
+// the bytes consumed.
+func ReadMsg(r *bufio.Reader) (Msg, error) {
+	line, err := readLine(r)
+	if err != nil {
+		if _, ok := err.(*Error); ok || err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Msg{}, err
+		}
+		return Msg{}, errf("decode", "", "", "read: %v", err)
+	}
+	toks := splitTokens(line)
+	if toks == nil {
+		return Msg{}, errf("decode", "", "", "malformed line %q", line)
+	}
+	spec, ok := verbs[toks[0]]
+	if !ok {
+		return Msg{}, errf("decode", "", "", "unknown verb %q", toks[0])
+	}
+	want := spec.args
+	if spec.payload {
+		want++
+	}
+	if len(toks)-1 != want {
+		return Msg{}, errf("decode", "", "", "%s takes %d tokens, got %d", toks[0], want, len(toks)-1)
+	}
+	m := Msg{Verb: toks[0]}
+	if spec.args > 0 {
+		m.Args = toks[1 : 1+spec.args]
+	}
+	if spec.payload {
+		n, err := canonUint(toks[len(toks)-1], maxPayload)
+		if err != nil {
+			return Msg{}, errf("decode", "", "", "%s payload length: %v", toks[0], err)
+		}
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return Msg{}, io.ErrUnexpectedEOF
+		}
+		switch b, err := r.ReadByte(); {
+		case err != nil:
+			return Msg{}, io.ErrUnexpectedEOF
+		case b != '\n':
+			return Msg{}, errf("decode", "", "", "%s payload not newline-terminated", toks[0])
+		}
+	}
+	return m, nil
+}
+
+// splitTokens splits a line on single spaces, rejecting empty or
+// invalid tokens (doubled/leading/trailing spaces, control bytes).
+func splitTokens(line string) []string {
+	if line == "" {
+		return nil
+	}
+	var toks []string
+	for len(line) > 0 {
+		i := 0
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		tok := line[:i]
+		if !validToken(tok) {
+			return nil
+		}
+		toks = append(toks, tok)
+		if i == len(line) {
+			break
+		}
+		line = line[i+1:]
+		if line == "" { // trailing space
+			return nil
+		}
+	}
+	return toks
+}

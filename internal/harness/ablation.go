@@ -1,19 +1,13 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 	"io"
 
-	"github.com/tempest-sim/tempest/internal/apps"
-	"github.com/tempest-sim/tempest/internal/apps/em3d"
 	"github.com/tempest-sim/tempest/internal/apps/ocean"
 	"github.com/tempest-sim/tempest/internal/machine"
-	"github.com/tempest-sim/tempest/internal/resultcache"
 	"github.com/tempest-sim/tempest/internal/sim"
-	"github.com/tempest-sim/tempest/internal/stache"
 	"github.com/tempest-sim/tempest/internal/stats"
-	"github.com/tempest-sim/tempest/internal/typhoon"
 )
 
 // AblationRow is one configuration of an ablation sweep.
@@ -25,40 +19,70 @@ type AblationRow struct {
 
 // Every ablation takes the SimParams for the simulations themselves
 // (shard count, link bandwidth, agent occupancy — applied to every
-// system) and a workers count for the RunAll pool (<= 0 = all cores); each
-// configuration point is one job, and the row order is fixed by the
-// sweep definition regardless of completion order. Rows are bit-identical
+// system, plus the cache/executor/timeout policy) and a workers count
+// for the local pool (<= 0 = all cores); each configuration is one
+// independent sweep point, and the row order is fixed by the sweep
+// definition regardless of completion order. Rows are bit-identical
 // at every shard and worker count.
+
+// ablationPoint pairs a sweep point with its presentation: the row
+// label and the counters the row reports.
+type ablationPoint struct {
+	pt    Point
+	label string
+	extra func(RunResult) map[string]uint64
+}
+
+// runAblation submits an ablation's points and folds the results into
+// rows.
+func runAblation(sp SimParams, workers int, aps []ablationPoint) ([]AblationRow, error) {
+	points := make([]Point, len(aps))
+	for i := range aps {
+		points[i] = aps[i].pt
+	}
+	results, err := submitPoints(sp.Exec, sp.Cache, workers, sp.PointTimeout, points, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(aps))
+	for i, ap := range aps {
+		rows[i] = AblationRow{Label: ap.label, Cycles: results[i].Res.ROICycles}
+		if ap.extra != nil {
+			rows[i].Extra = ap.extra(results[i].RunResult)
+		}
+	}
+	return rows, nil
+}
+
+// netMsgs counts a run's remote network messages (packets minus
+// node-local sends).
+func netMsgs(res machine.Result) uint64 {
+	var msgs uint64
+	for _, v := range res.Net.VNets {
+		msgs += v.Packets
+	}
+	return msgs - res.Net.LocalSends
+}
 
 // AblationBlockSize sweeps the coherence-block size on Typhoon/Stache
 // (the paper fixes 32 bytes but defines blocks as 32-128 bytes, §2.4):
 // larger blocks amortise handler overhead against false sharing and
 // wasted transfer.
 func AblationBlockSize(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, bs := range []int{32, 64, 128} {
-		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			cfg := MachineConfig(scale, 0)
-			cfg.BlockSize = bs
-			sp.apply(&cfg)
-			app, err := MakeApp("em3d", scale, SetSmall)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			rr, err := RunCached(sp.Cache, cfg, SysStache, app)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{
-				Label:  fmt.Sprintf("block=%dB", bs),
-				Cycles: rr.Res.ROICycles,
-				Extra: map[string]uint64{
-					"faults": rr.Res.Counters.Get("stache.remote_faults"),
-				},
-			}, nil
+		cfg := MachineConfig(scale, 0)
+		cfg.BlockSize = bs
+		sp.apply(&cfg)
+		aps = append(aps, ablationPoint{
+			pt:    Point{Cfg: cfg, System: SysStache, Bench: "em3d", Scale: scale, Set: SetSmall},
+			label: fmt.Sprintf("block=%dB", bs),
+			extra: func(rr RunResult) map[string]uint64 {
+				return map[string]uint64{"faults": rr.Res.Counters.Get("stache.remote_faults")}
+			},
 		})
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // AblationPlacement quantifies paper §6's discussion that careful data
@@ -74,7 +98,7 @@ func AblationPlacement(scale Scale, sp SimParams, workers int) ([]AblationRow, e
 		ocfg.N = 66
 	}
 
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, c := range []struct {
 		label string
 		sys   System
@@ -85,99 +109,59 @@ func AblationPlacement(scale Scale, sp SimParams, workers int) ([]AblationRow, e
 		{"typhoon-stache/naive", SysStache, false},
 		{"typhoon-stache/owner-placed", SysStache, true},
 	} {
-		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			cfg := ocfg
-			cfg.OwnerPlaced = c.owner
-			app := ocean.New(cfg)
-			rr, err := RunCached(sp.Cache, mcfg, c.sys, app)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: c.label, Cycles: rr.Res.ROICycles}, nil
+		cfg := ocfg
+		cfg.OwnerPlaced = c.owner
+		aps = append(aps, ablationPoint{
+			pt:    Point{Cfg: mcfg, System: c.sys, Ocean: &cfg},
+			label: c.label,
 		})
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // AblationStacheBudget sweeps the per-node stache-page budget to expose
 // the FIFO page-replacement machinery (§3: "replacements are rare" with
-// ample memory; a tight budget makes them common).
+// ample memory; a tight budget makes them common). budget=0 is exactly
+// the plain Stache run — the zero key field is dropped, so it shares a
+// cache entry with other sweeps' runs.
 func AblationStacheBudget(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	ecfg := EM3DConfig(scale, SetSmall)
 	mcfg := MachineConfig(scale, 0)
 	sp.apply(&mcfg)
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, budget := range []int{0, 16, 4, 2} {
-		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			simulate := func() (RunResult, error) {
-				m := machine.New(mcfg)
-				var opts []stache.Option
-				if budget > 0 {
-					opts = append(opts, stache.WithMaxPages(budget))
-				}
-				st := stache.New(opts...)
-				typhoon.New(m, st)
-				app := em3d.New(ecfg)
-				app.Setup(m)
-				res, err := m.Run(app.Body)
-				if err != nil {
-					return RunResult{}, err
-				}
-				if err := app.Verify(m); err != nil {
-					return RunResult{}, fmt.Errorf("harness: budget=%d: %w", budget, err)
-				}
-				return RunResult{System: SysStache, App: app.Name(), Res: res}, nil
-			}
-			// budget=0 is exactly the plain Stache run — no extra key
-			// field, so it shares a cache entry with other sweeps' runs.
-			extra := []resultcache.Field{resultcache.FInt("stache.max_pages", int64(budget))}
-			rr, _, err := cachedRun(sp.Cache, mcfg, SysStache, "em3d", em3dKey(ecfg), extra, simulate)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			label := "unbounded"
-			if budget > 0 {
-				label = fmt.Sprintf("%d pages", budget)
-			}
-			return AblationRow{
-				Label:  label,
-				Cycles: rr.Res.ROICycles,
-				Extra: map[string]uint64{
-					"replacements": rr.Res.Counters.Get("stache.replacements"),
-				},
-			}, nil
+		label := "unbounded"
+		if budget > 0 {
+			label = fmt.Sprintf("%d pages", budget)
+		}
+		aps = append(aps, ablationPoint{
+			pt:    Point{Cfg: mcfg, System: SysStache, EM3D: &ecfg, StacheMaxPages: budget},
+			label: label,
+			extra: func(rr RunResult) map[string]uint64 {
+				return map[string]uint64{"replacements": rr.Res.Counters.Get("stache.replacements")}
+			},
 		})
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // AblationNetLatency sweeps the network latency (Table 2's 11 cycles is
 // "probably optimistic for future systems" and deliberately favours
 // DirNNB; this quantifies the sensitivity the paper mentions).
 func AblationNetLatency(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, lat := range []sim.Time{11, 44, 88} {
 		for _, sys := range []System{SysDirNNB, SysStache} {
-			jobs = append(jobs, func(context.Context) (AblationRow, error) {
-				cfg := MachineConfig(scale, 4<<10)
-				cfg.NetLatency = lat
-				sp.apply(&cfg)
-				app, err := MakeApp("ocean", scale, SetSmall)
-				if err != nil {
-					return AblationRow{}, err
-				}
-				rr, err := RunCached(sp.Cache, cfg, sys, app)
-				if err != nil {
-					return AblationRow{}, err
-				}
-				return AblationRow{
-					Label:  fmt.Sprintf("net=%d/%s", lat, sys),
-					Cycles: rr.Res.ROICycles,
-				}, nil
+			cfg := MachineConfig(scale, 4<<10)
+			cfg.NetLatency = lat
+			sp.apply(&cfg)
+			aps = append(aps, ablationPoint{
+				pt:    Point{Cfg: cfg, System: sys, Bench: "ocean", Scale: scale, Set: SetSmall},
+				label: fmt.Sprintf("net=%d/%s", lat, sys),
 			})
 		}
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // AblationFirstTouch compares DirNNB's default round-robin placement
@@ -187,35 +171,25 @@ func AblationNetLatency(scale Scale, sp SimParams, workers int) ([]AblationRow, 
 func AblationFirstTouch(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 4<<10)
 	sp.apply(&mcfg)
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, sys := range []System{SysDirNNB, SysStache} {
-		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			app, err := MakeApp("ocean", scale, SetSmall)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			rr, err := RunCached(sp.Cache, mcfg, sys, app)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: "round-robin/" + string(sys), Cycles: rr.Res.ROICycles}, nil
+		aps = append(aps, ablationPoint{
+			pt:    Point{Cfg: mcfg, System: sys, Bench: "ocean", Scale: scale, Set: SetSmall},
+			label: "round-robin/" + string(sys),
 		})
 	}
 	// First-touch DirNNB: owner-placed is the steady-state equivalent
 	// (the initialising processor is the owner).
-	jobs = append(jobs, func(context.Context) (AblationRow, error) {
-		c := ocean.Small()
-		if scale != ScalePaper {
-			c.N = 66
-		}
-		c.OwnerPlaced = true
-		rr, err := RunCached(sp.Cache, mcfg, SysDirNNB, ocean.New(c))
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{Label: "first-touch/dirnnb", Cycles: rr.Res.ROICycles}, nil
+	c := ocean.Small()
+	if scale != ScalePaper {
+		c.N = 66
+	}
+	c.OwnerPlaced = true
+	aps = append(aps, ablationPoint{
+		pt:    Point{Cfg: mcfg, System: SysDirNNB, Ocean: &c},
+		label: "first-touch/dirnnb",
 	})
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // RenderAblation prints an ablation sweep.
@@ -242,136 +216,48 @@ func AblationEM3DProtocols(scale Scale, pctRemote int, sp SimParams, workers int
 	mcfg := MachineConfig(scale, 0)
 	sp.apply(&mcfg)
 
-	netMsgs := func(res machine.Result) uint64 {
-		var msgs uint64
-		for _, v := range res.Net.VNets {
-			msgs += v.Packets
-		}
-		return msgs - res.Net.LocalSends
+	msgExtra := func(rr RunResult) map[string]uint64 {
+		return map[string]uint64{"net-messages": netMsgs(rr.Res)}
 	}
-	// stacheRow runs one Stache variant (plain or check-in) through the
-	// cache. The plain variant is the standard SysStache run (same key
-	// as any other sweep's, so entries are shared); the check-in app is
-	// a distinct program and carries its own key field.
-	stacheRow := func(label string, checkin bool) (AblationRow, error) {
-		simulate := func() (RunResult, error) {
-			m := machine.New(mcfg)
-			st := stache.New()
-			typhoon.New(m, st)
-			var app apps.App
-			if checkin {
-				app = em3d.NewCheckInApp(ecfg, st)
-			} else {
-				app = em3d.New(ecfg)
-			}
-			app.Setup(m)
-			res, err := m.Run(app.Body)
-			if err != nil {
-				return RunResult{}, err
-			}
-			if err := app.Verify(m); err != nil {
-				return RunResult{}, err
-			}
-			return RunResult{System: SysStache, App: app.Name(), Res: res}, nil
-		}
-		appName := "em3d"
-		var extra []resultcache.Field
-		if checkin {
-			appName = "em3d-checkin"
-			extra = []resultcache.Field{resultcache.FBool("app.checkin", true)}
-		}
-		rr, _, err := cachedRun(sp.Cache, mcfg, SysStache, appName, em3dKey(ecfg), extra, simulate)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{Label: label, Cycles: rr.Res.ROICycles,
-			Extra: map[string]uint64{"net-messages": netMsgs(rr.Res)}}, nil
-	}
-	jobs := []Job[AblationRow]{
+	aps := []ablationPoint{
 		// DirNNB (hardware messages are not modeled as packets; report cycles).
-		func(context.Context) (AblationRow, error) {
-			dir, err := runEM3DOn(sp.Cache, mcfg, SysDirNNB, ecfg)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: "dirnnb", Cycles: dir.roi}, nil
-		},
-		func(context.Context) (AblationRow, error) {
-			return stacheRow("typhoon-stache", false)
-		},
-		func(context.Context) (AblationRow, error) {
-			return stacheRow("typhoon-stache+checkin", true)
-		},
+		{pt: Point{Cfg: mcfg, System: SysDirNNB, EM3D: &ecfg}, label: "dirnnb"},
+		{pt: Point{Cfg: mcfg, System: SysStache, EM3D: &ecfg}, label: "typhoon-stache", extra: msgExtra},
+		// The check-in app is a distinct program and carries its own key
+		// field; the plain variant shares its entry with any other sweep.
+		{pt: Point{Cfg: mcfg, System: SysStache, EM3D: &ecfg, CheckIn: true}, label: "typhoon-stache+checkin", extra: msgExtra},
 		// Custom update protocol.
-		func(context.Context) (AblationRow, error) {
-			rr, err := RunEM3DUpdateCached(sp.Cache, mcfg, ecfg)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: "typhoon-update", Cycles: rr.Res.ROICycles,
-				Extra: map[string]uint64{"net-messages": netMsgs(rr.Res)}}, nil
-		},
+		{pt: Point{Cfg: mcfg, System: SysUpdate, EM3D: &ecfg}, label: "typhoon-update", extra: msgExtra},
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // AblationMigratory measures the migratory-sharing optimisation (a
 // user-level protocol-policy extension, off by default) on MP3D, whose
-// scattered read-modify-writes are the pattern it targets.
+// scattered read-modify-writes are the pattern it targets. mig=false
+// drops the key field — the plain run shares its entry with any other
+// Stache/mp3d sweep at this configuration.
 func AblationMigratory(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
 	mcfg := MachineConfig(scale, 64<<10)
 	sp.apply(&mcfg)
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, mig := range []bool{false, true} {
-		jobs = append(jobs, func(context.Context) (AblationRow, error) {
-			app, err := MakeApp("mp3d", scale, SetSmall)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			label := "stache/plain"
-			if mig {
-				label = "stache/migratory"
-			}
-			simulate := func() (RunResult, error) {
-				m := machine.New(mcfg)
-				var opts []stache.Option
-				if mig {
-					opts = append(opts, stache.WithMigratory())
-				}
-				st := stache.New(opts...)
-				typhoon.New(m, st)
-				app.Setup(m)
-				res, err := m.Run(app.Body)
-				if err != nil {
-					return RunResult{}, err
-				}
-				if err := app.Verify(m); err != nil {
-					return RunResult{}, err
-				}
-				if err := st.CheckInvariants(); err != nil {
-					return RunResult{}, err
-				}
-				return RunResult{System: SysStache, App: app.Name(), Res: res}, nil
-			}
-			appFields, err := appKeyFields(app)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			// mig=false drops the field — the plain run shares its entry
-			// with any other Stache/mp3d sweep at this configuration.
-			extra := []resultcache.Field{resultcache.FBool("stache.migratory", mig)}
-			rr, _, err := cachedRun(sp.Cache, mcfg, SysStache, app.Name(), appFields, extra, simulate)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			return AblationRow{Label: label, Cycles: rr.Res.ROICycles,
-				Extra: map[string]uint64{
+		label := "stache/plain"
+		if mig {
+			label = "stache/migratory"
+		}
+		aps = append(aps, ablationPoint{
+			pt:    Point{Cfg: mcfg, System: SysStache, Bench: "mp3d", Scale: scale, Set: SetSmall, StacheMigratory: mig},
+			label: label,
+			extra: func(rr RunResult) map[string]uint64 {
+				return map[string]uint64{
 					"migratory-grants": rr.Res.Counters.Get("stache.migratory_grants"),
 					"upgrades":         rr.Res.Counters.Get("stache.upgrades"),
-				}}, nil
+				}
+			},
 		})
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }
 
 // AblationSoftwareTempest runs the same benchmark and the same
@@ -380,27 +266,20 @@ func AblationMigratory(scale Scale, sp SimParams, workers int) ([]AblationRow, e
 // machines", later published as Blizzard), quantifying what Typhoon's
 // custom hardware buys.
 func AblationSoftwareTempest(scale Scale, sp SimParams, workers int) ([]AblationRow, error) {
-	var jobs []Job[AblationRow]
+	var aps []ablationPoint
 	for _, name := range []string{"ocean", "em3d"} {
 		for _, software := range []bool{false, true} {
-			jobs = append(jobs, func(context.Context) (AblationRow, error) {
-				cfg := MachineConfig(scale, 16<<10)
-				sp.apply(&cfg)
-				sys, label := SysStache, name+"/typhoon"
-				if software {
-					sys, label = SysBlizzard, name+"/software"
-				}
-				app, err := MakeApp(name, scale, SetSmall)
-				if err != nil {
-					return AblationRow{}, err
-				}
-				rr, err := RunCached(sp.Cache, cfg, sys, app)
-				if err != nil {
-					return AblationRow{}, err
-				}
-				return AblationRow{Label: label, Cycles: rr.Res.ROICycles}, nil
+			cfg := MachineConfig(scale, 16<<10)
+			sp.apply(&cfg)
+			sys, label := SysStache, name+"/typhoon"
+			if software {
+				sys, label = SysBlizzard, name+"/software"
+			}
+			aps = append(aps, ablationPoint{
+				pt:    Point{Cfg: cfg, System: sys, Bench: name, Scale: scale, Set: SetSmall},
+				label: label,
 			})
 		}
 	}
-	return RunAll(jobs, workers)
+	return runAblation(sp, workers, aps)
 }

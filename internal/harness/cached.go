@@ -210,6 +210,11 @@ func resultFromEntry(e *resultcache.Entry) RunResult {
 	return RunResult{System: System(e.System), App: e.App, Res: res}
 }
 
+// ResultFromEntry reconstructs a run result from a cache entry — the
+// fleet backends rebuild sweep results from entries shipped over the
+// wire, after verifying them against the point's canonical key.
+func ResultFromEntry(e *resultcache.Entry) RunResult { return resultFromEntry(e) }
+
 // cachedRun is the memoization funnel every cached sweep point goes
 // through: look the key up, serve hits (re-simulating the configured
 // verification fraction and failing loudly on divergence), simulate

@@ -1,9 +1,9 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stats"
@@ -79,6 +79,11 @@ type ContentionOptions struct {
 	// The contention knobs are key fields, so every sweep point has its
 	// own entry.
 	Cache CacheParams
+	// Exec, when non-nil, runs the sweep's points on that backend
+	// instead of the in-process pool.
+	Exec Executor
+	// PointTimeout, when > 0, bounds each point's wall-clock run.
+	PointTimeout time.Duration
 }
 
 // ContentionSweep reruns a Figure-3-style comparison across contention
@@ -99,29 +104,23 @@ func ContentionSweep(opts ContentionOptions) ([]ContentionCell, error) {
 	if cacheKB <= 0 {
 		cacheKB = 4
 	}
-	var jobs []Job[RunResult]
+	var pts []Point
 	for _, name := range names {
 		for _, pt := range points {
 			for _, sys := range []System{SysDirNNB, SysStache} {
-				jobs = append(jobs, func(context.Context) (RunResult, error) {
-					app, err := MakeApp(name, opts.Scale, SetSmall)
-					if err != nil {
-						return RunResult{}, err
-					}
-					cfg := MachineConfig(opts.Scale, cacheKB<<10)
-					cfg.Shards = opts.Shards
-					cfg.LinkBytesPerCycle = pt.LinkBytesPerCycle
-					cfg.OccupancyCycles = pt.OccupancyCycles
-					return RunCached(opts.Cache, cfg, sys, app)
-				})
+				cfg := MachineConfig(opts.Scale, cacheKB<<10)
+				cfg.Shards = opts.Shards
+				cfg.LinkBytesPerCycle = pt.LinkBytesPerCycle
+				cfg.OccupancyCycles = pt.OccupancyCycles
+				pts = append(pts, Point{Cfg: cfg, System: sys, Bench: name, Scale: opts.Scale, Set: SetSmall})
 			}
 		}
 	}
-	results, err := RunAll(jobs, opts.Workers)
+	results, err := submitPoints(opts.Exec, opts.Cache, opts.Workers, opts.PointTimeout, pts, nil)
 	if err != nil {
 		return nil, err
 	}
-	netQueue := func(rr RunResult) uint64 {
+	netQueue := func(rr PointResult) uint64 {
 		var q uint64
 		for _, v := range rr.Res.Net.VNets {
 			q += v.QueueingCycles

@@ -1,9 +1,9 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/tempest-sim/tempest/internal/resultcache"
 	"github.com/tempest-sim/tempest/internal/sim"
@@ -57,8 +57,8 @@ type Fig3Options struct {
 	Scale   Scale
 	Apps    []string     // nil = all five
 	Configs []Fig3Config // nil = the paper's five
-	// Workers sizes the worker pool; <= 0 uses all cores. Results are
-	// bit-identical at every worker count.
+	// Workers sizes the local worker pool; <= 0 uses all cores. Results
+	// are bit-identical at every worker count. Ignored when Exec is set.
 	Workers int
 	// Shards runs each simulation's nodes across this many scheduler
 	// goroutines (machine.Config.Shards; <= 0 means 1) for every system,
@@ -81,22 +81,20 @@ type Fig3Options struct {
 	// points are stored once and aliased to every larger cache size
 	// they are provably identical at.
 	Cache CacheParams
+	// Exec, when non-nil, runs the sweep's points on that backend (e.g.
+	// a fleet coordinator or client) instead of the in-process pool.
+	Exec Executor
+	// PointTimeout, when > 0, bounds each point's wall-clock run.
+	PointTimeout time.Duration
 	// Logf, when non-nil, receives one line per reused sweep point after
 	// the sweep completes, in deterministic sweep order.
 	Logf func(format string, args ...any)
-	// Progress, when non-nil, is called after each (benchmark, system)
-	// sweep finishes.
+	// Progress, when non-nil, is called after each sweep point finishes.
 	Progress func(done, total int)
 }
 
 // fig3Systems is the pair every Figure 3 cell compares.
 var fig3Systems = []System{SysDirNNB, SysStache}
-
-// fig3Run is one sweep point's result, with its dedup provenance.
-type fig3Run struct {
-	RunResult
-	reusedFromKB int // when > 0, served from this cache size's witness
-}
 
 // fig3Witness is the alias-origin tag format: "witness:<kb>K" marks an
 // entry derived from the zero-eviction run at <kb> KB rather than
@@ -113,16 +111,17 @@ func parseFig3Witness(origin string) int {
 	return 0
 }
 
-// Figure3 reproduces the paper's Figure 3: the execution time of
-// Typhoon/Stache relative to DirNNB across benchmarks and dataset/cache
-// combinations. Each (benchmark, system) pair is one job on the RunAll
-// pool; within a job the cache sizes of one data set run in the given
-// (ascending) order so that redundant points can be served from the
-// result cache.
+// Fig3Points builds the sweep's point list: one point per (benchmark,
+// system, config) cell, in that nesting order. Points of one
+// (benchmark, system) pair share a Group so the cache sizes of one data
+// set run sequentially in the given (ascending) order, and each point
+// declares the larger cache sizes a clean run of it provably also
+// covers (WitnessKB) — how the zero-eviction dedup survives any
+// executor backend.
 //
-// The zero-eviction witness is one layer of that cache: the CPU cache
-// indexes sets by block % numSets and consults its replacement RNG
-// only when a fill finds no free way. A run that performed zero
+// The zero-eviction witness is one layer of the result cache: the CPU
+// cache indexes sets by block % numSets and consults its replacement
+// RNG only when a fill finds no free way. A run that performed zero
 // evictions machine-wide therefore never drew from the RNG, and at any
 // larger cache whose set count is a multiple of the witness's (same
 // ways and block size — cache sizes here are powers of two), each set
@@ -135,6 +134,44 @@ func parseFig3Witness(origin string) int {
 // hits — one reuse mechanism, in-process and on-disk alike.
 // EXPERIMENTS.md's observation that appbt and ocean render identical
 // rows at 16K/64K/256K is this effect.
+func Fig3Points(scale Scale, names []string, configs []Fig3Config, sp SimParams, noDedup bool) []Point {
+	var points []Point
+	for _, name := range names {
+		for _, sys := range fig3Systems {
+			group := fmt.Sprintf("fig3/%s/%s", name, sys)
+			for i, fc := range configs {
+				cfg := MachineConfig(scale, fc.CacheKB<<10)
+				sp.apply(&cfg)
+				pt := Point{
+					Cfg:     cfg,
+					System:  sys,
+					Bench:   name,
+					Scale:   scale,
+					Set:     fc.Set,
+					Group:   group,
+					NoCache: noDedup,
+				}
+				if !noDedup {
+					// A clean run at this point proves every larger multiple
+					// cache size of the same data set bit-identical.
+					for _, fc2 := range configs[i+1:] {
+						if fc2.Set != fc.Set || fc2.CacheKB < fc.CacheKB || fc2.CacheKB%fc.CacheKB != 0 {
+							continue
+						}
+						pt.WitnessKB = append(pt.WitnessKB, fc2.CacheKB)
+					}
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points
+}
+
+// Figure3 reproduces the paper's Figure 3: the execution time of
+// Typhoon/Stache relative to DirNNB across benchmarks and dataset/cache
+// combinations. The sweep's points are built by Fig3Points and run on
+// the configured executor (the in-process pool by default).
 func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 	names := opts.Apps
 	if names == nil {
@@ -155,73 +192,26 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 		}
 		cp.Cache = c
 	}
-	var jobs []Job[[]fig3Run]
-	for _, name := range names {
-		for _, sys := range fig3Systems {
-			jobs = append(jobs, func(context.Context) ([]fig3Run, error) {
-				out := make([]fig3Run, 0, len(configs))
-				for i, fc := range configs {
-					app, err := MakeApp(name, opts.Scale, fc.Set)
-					if err != nil {
-						return nil, err
-					}
-					cfg := MachineConfig(opts.Scale, fc.CacheKB<<10)
-					sp.apply(&cfg)
-					if opts.NoDedup || cp.Cache == nil {
-						rr, err := Run(cfg, sys, app)
-						if err != nil {
-							return nil, err
-						}
-						out = append(out, fig3Run{RunResult: rr})
-						continue
-					}
-					appFields, err := appKeyFields(app)
-					if err != nil {
-						return nil, err
-					}
-					rr, entry, err := cachedRun(cp, cfg, sys, app.Name(), appFields, nil,
-						func() (RunResult, error) { return Run(cfg, sys, app) })
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, fig3Run{RunResult: rr, reusedFromKB: parseFig3Witness(entry.Origin)})
-					// A clean (zero-eviction) non-alias result proves every
-					// larger multiple cache size of the same data set
-					// bit-identical; file it under those keys too.
-					if entry.Origin == "" && rr.Res.Counters.Get("cpu.evictions") == 0 {
-						for _, fc2 := range configs[i+1:] {
-							if fc2.Set != fc.Set || fc2.CacheKB < fc.CacheKB || fc2.CacheKB%fc.CacheKB != 0 {
-								continue
-							}
-							cfg2 := MachineConfig(opts.Scale, fc2.CacheKB<<10)
-							sp.apply(&cfg2)
-							k2 := runKey(entry.Code, cfg2, sys, app.Name(), appFields, nil)
-							if !cp.Cache.Contains(k2) {
-								cp.Cache.Put(entry.WithKey(k2, fig3Witness(fc.CacheKB)))
-							}
-						}
-					}
-				}
-				return out, nil
-			})
-		}
-	}
-	results, err := RunAllOpts(jobs, RunOptions{Workers: opts.Workers, Progress: opts.Progress})
+	points := Fig3Points(opts.Scale, names, configs, sp, opts.NoDedup)
+	results, err := submitPoints(opts.Exec, cp, opts.Workers, opts.PointTimeout, points, opts.Progress)
 	if err != nil {
 		return nil, err
 	}
+	at := func(ni, si, ci int) PointResult {
+		return results[(ni*2+si)*len(configs)+ci]
+	}
 	var cells []Fig3Cell
 	for ni, name := range names {
-		dir, typh := results[ni*2], results[ni*2+1]
 		for ci, fc := range configs {
+			dir, typh := at(ni, 0, ci), at(ni, 1, ci)
 			cells = append(cells, Fig3Cell{
 				App:     name,
 				Set:     fc.Set,
 				CacheKB: fc.CacheKB,
-				Typhoon: typh[ci].Res.ROICycles,
-				DirNNB:  dir[ci].Res.ROICycles,
-				Relative: float64(typh[ci].Res.ROICycles) /
-					float64(dir[ci].Res.ROICycles),
+				Typhoon: typh.Res.ROICycles,
+				DirNNB:  dir.Res.ROICycles,
+				Relative: float64(typh.Res.ROICycles) /
+					float64(dir.Res.ROICycles),
 			})
 		}
 	}
@@ -229,9 +219,9 @@ func Figure3(opts Fig3Options) ([]Fig3Cell, error) {
 		for ni, name := range names {
 			for si, sys := range fig3Systems {
 				for ci, fc := range configs {
-					if r := results[ni*2+si][ci]; r.reusedFromKB > 0 {
+					if kb := parseFig3Witness(at(ni, si, ci).Origin); kb > 0 {
 						opts.Logf("fig3: %s on %s %s/%dK: reused the %dK result (that run evicted no cache line, so the larger cache is provably identical)",
-							name, sys, fc.Set, fc.CacheKB, r.reusedFromKB)
+							name, sys, fc.Set, fc.CacheKB, kb)
 					}
 				}
 			}

@@ -1,13 +1,12 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/tempest-sim/tempest/internal/apps"
 	"github.com/tempest-sim/tempest/internal/apps/em3d"
-	"github.com/tempest-sim/tempest/internal/machine"
 	"github.com/tempest-sim/tempest/internal/sim"
 	"github.com/tempest-sim/tempest/internal/stats"
 )
@@ -27,8 +26,8 @@ type Fig4Options struct {
 	Set DataSet
 	// Pcts are the remote-edge percentages; nil = 0..50 step 10.
 	Pcts []int
-	// Workers sizes the worker pool; <= 0 uses all cores. Results are
-	// bit-identical at every worker count.
+	// Workers sizes the local worker pool; <= 0 uses all cores. Results
+	// are bit-identical at every worker count. Ignored when Exec is set.
 	Workers int
 	// Shards runs each simulation's nodes across this many scheduler
 	// goroutines (machine.Config.Shards; <= 0 means 1) for every system,
@@ -41,6 +40,11 @@ type Fig4Options struct {
 	OccupancyCycles   sim.Time
 	// Cache supplies a shared result cache (zero value = no caching).
 	Cache CacheParams
+	// Exec, when non-nil, runs the sweep's points on that backend
+	// instead of the in-process pool.
+	Exec Executor
+	// PointTimeout, when > 0, bounds each point's wall-clock run.
+	PointTimeout time.Duration
 	// Progress, when non-nil, is called after each simulation finishes.
 	Progress func(done, total int)
 }
@@ -50,8 +54,8 @@ var fig4Systems = []System{SysDirNNB, SysStache, SysUpdate}
 
 // Figure4 reproduces the paper's Figure 4: EM3D cycles per edge versus
 // the percentage of non-local edges, for DirNNB, Typhoon/Stache, and the
-// custom Typhoon update protocol. Each (percentage, system) point is one
-// job on the RunAll pool.
+// custom Typhoon update protocol. Each (percentage, system) pair is one
+// independent sweep point.
 func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 	pcts := opts.Pcts
 	if pcts == nil {
@@ -65,23 +69,22 @@ func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 	mcfg.Shards = opts.Shards
 	mcfg.LinkBytesPerCycle = opts.LinkBytesPerCycle
 	mcfg.OccupancyCycles = opts.OccupancyCycles
-	var jobs []Job[em3dRun]
+	var points []Point
 	for _, pct := range pcts {
 		for _, sys := range fig4Systems {
-			jobs = append(jobs, func(context.Context) (em3dRun, error) {
-				ecfg := EM3DConfig(opts.Scale, set)
-				ecfg.PctRemote = pct
-				return runEM3DOn(opts.Cache, mcfg, sys, ecfg)
-			})
+			ecfg := EM3DConfig(opts.Scale, set)
+			ecfg.PctRemote = pct
+			points = append(points, Point{Cfg: mcfg, System: sys, EM3D: &ecfg})
 		}
 	}
-	results, err := RunAllOpts(jobs, RunOptions{Workers: opts.Workers, Progress: opts.Progress})
+	results, err := submitPoints(opts.Exec, opts.Cache, opts.Workers, opts.PointTimeout, points, opts.Progress)
 	if err != nil {
 		return nil, err
 	}
-	iters := EM3DConfig(opts.Scale, set).Iters
-	perEdge := func(r em3dRun) float64 {
-		return float64(r.roi) / float64(r.edges*iters)
+	ecfg := EM3DConfig(opts.Scale, set)
+	edges := em3dEdges(ecfg, mcfg.Nodes)
+	perEdge := func(r PointResult) float64 {
+		return float64(r.Res.ROICycles) / float64(edges*ecfg.Iters)
 	}
 	var out []Fig4Point
 	for i, pct := range pcts {
@@ -96,32 +99,15 @@ func Figure4(opts Fig4Options) ([]Fig4Point, error) {
 	return out, nil
 }
 
-type em3dRun struct {
-	roi   sim.Time
-	edges int
-}
-
-// runEM3DOn runs one EM3D instance on one system — through the result
-// cache when one is supplied — and reports the measured region plus
-// the per-processor edges per iteration. The edge count is computed
-// from the configuration (the same partition formula App.Setup uses)
-// rather than read off an app instance, so a cache hit needs no app.
-func runEM3DOn(cp CacheParams, mcfg machine.Config, system System, ecfg em3d.Config) (em3dRun, error) {
-	var rr RunResult
-	var err error
-	if system == SysUpdate {
-		rr, err = RunEM3DUpdateCached(cp, mcfg, ecfg)
-	} else {
-		rr, err = RunCached(cp, mcfg, system, em3d.New(ecfg))
-	}
-	if err != nil {
-		return em3dRun{}, err
-	}
-	per := apps.CeilDiv(ecfg.TotalNodes/2, mcfg.Nodes)
+// em3dEdges computes the per-processor edges per iteration from the
+// configuration (the same partition formula App.Setup uses), so a cache
+// hit needs no app instance.
+func em3dEdges(ecfg em3d.Config, nodes int) int {
+	per := apps.CeilDiv(ecfg.TotalNodes/2, nodes)
 	if per == 0 {
 		per = 1
 	}
-	return em3dRun{roi: rr.Res.ROICycles, edges: 2 * per * ecfg.Degree}, nil
+	return 2 * per * ecfg.Degree
 }
 
 // RenderFigure4 prints the Figure 4 series.

@@ -8,6 +8,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/tempest-sim/tempest/internal/apps"
 	"github.com/tempest-sim/tempest/internal/apps/appbt"
@@ -270,6 +271,14 @@ type SimParams struct {
 	// no caching). Not a machine knob — apply ignores it; the run
 	// funnels consult it.
 	Cache CacheParams
+	// Exec, when non-nil, runs sweep points on that backend (e.g. a
+	// fleet coordinator or client) instead of the in-process pool. Not
+	// a machine knob — apply ignores it.
+	Exec Executor
+	// PointTimeout, when > 0, bounds each sweep point's wall-clock run;
+	// a point that exceeds it fails the sweep with a structured
+	// *PointTimeoutError naming the point. Not a machine knob.
+	PointTimeout time.Duration
 }
 
 // apply copies the params onto a machine config.

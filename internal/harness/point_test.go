@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tempest-sim/tempest/internal/apps/em3d"
+	"github.com/tempest-sim/tempest/internal/apps/ocean"
+	"github.com/tempest-sim/tempest/internal/machine"
+)
+
+// testPoints is a representative spread of the point space: every app
+// selection mode, every variant knob, every execution directive.
+func testPoints() []Point {
+	ecfg := em3d.Tiny()
+	ocfg := ocean.Tiny()
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Shards = 2
+	cfg.FixedWindow = true
+	cfg.LinkBytesPerCycle = 4
+	cfg.OccupancyCycles = 20
+	return []Point{
+		{Cfg: cfg, System: SysDirNNB, Bench: "ocean", Scale: ScaleReduced, Set: SetSmall},
+		{Cfg: cfg, System: SysStache, Bench: "appbt", Scale: ScalePaper, Set: SetLarge,
+			Group: "fig3/appbt/typhoon-stache", WitnessKB: []int{16, 64}},
+		{Cfg: cfg, System: SysStache, EM3D: &ecfg, CheckIn: true},
+		{Cfg: cfg, System: SysStache, EM3D: &ecfg, StacheMaxPages: 4},
+		{Cfg: cfg, System: SysStache, Bench: "mp3d", Scale: ScaleReduced, Set: SetSmall, StacheMigratory: true},
+		{Cfg: cfg, System: SysUpdate, EM3D: &ecfg},
+		{Cfg: cfg, System: SysBlizzard, Bench: "em3d", Scale: ScaleReduced, Set: SetSmall, NoCache: true},
+		{Cfg: cfg, System: SysDirNNB, Ocean: &ocfg, Observed: true, NoCache: true, Bench: "ocean"},
+	}
+}
+
+func TestPointEncodeDecodeRoundTrip(t *testing.T) {
+	for i, pt := range testPoints() {
+		enc := pt.Encode()
+		got, err := DecodePoint(enc)
+		if err != nil {
+			t.Fatalf("point %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, pt) {
+			t.Errorf("point %d: round trip changed the point:\n%+v\n%+v", i, pt, got)
+		}
+		if re := got.Encode(); !bytes.Equal(re, enc) {
+			t.Errorf("point %d: re-encode is not byte-identical", i)
+		}
+	}
+}
+
+func TestDecodePointRejectsCorruption(t *testing.T) {
+	enc := testPoints()[1].Encode()
+	cases := map[string][]byte{
+		"empty":      {},
+		"no newline": enc[:len(enc)-1],
+		"truncated":  enc[:len(enc)/2],
+		"bad magic":  []byte("tempest-nonsense v1\nsum 00\n"),
+	}
+	// A genuine version skew arrives checksum-valid: the sender summed
+	// its own (newer) encoding.
+	body := enc[:bytes.LastIndex(enc[:len(enc)-1], []byte("\n"))+1]
+	skew := bytes.Replace(body, []byte("tempest-point v1"), []byte("tempest-point v9"), 1)
+	sum := sha256.Sum256(skew)
+	cases["version skew"] = append(skew, []byte("sum "+hex.EncodeToString(sum[:])+"\n")...)
+	flipped := append([]byte(nil), enc...)
+	flipped[len("tempest-point v1\ncfg ")] ^= 0x01
+	cases["flipped byte"] = flipped
+	for name, data := range cases {
+		if _, err := DecodePoint(data); err == nil {
+			t.Errorf("%s: corrupt point decoded without error", name)
+		} else if !strings.Contains(err.Error(), "harness: decode point") {
+			t.Errorf("%s: error is not structured: %v", name, err)
+		}
+	}
+	// Version skew must be named as such, so a mixed-version fleet fails
+	// with a diagnosis rather than a generic parse error.
+	if _, err := DecodePoint(cases["version skew"]); err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Errorf("version skew not diagnosed: %v", err)
+	}
+}
+
+func TestPointValidate(t *testing.T) {
+	ecfg := em3d.Tiny()
+	ocfg := ocean.Tiny()
+	cfg := machine.DefaultConfig()
+	bad := []Point{
+		{Cfg: cfg, System: "nonsense", Bench: "ocean"},
+		{Cfg: cfg, System: SysStache, EM3D: &ecfg, Ocean: &ocfg},
+		{Cfg: cfg, System: SysUpdate, Bench: "em3d"},
+		{Cfg: cfg, System: SysDirNNB, Bench: "ocean", StacheMigratory: true},
+		{Cfg: cfg, System: SysStache, Bench: "em3d", CheckIn: true},
+		{Cfg: cfg, System: SysStache, EM3D: &ecfg, StacheMaxPages: -1},
+	}
+	for i, pt := range bad {
+		if err := pt.Validate(); err == nil {
+			t.Errorf("bad point %d validated: %+v", i, pt)
+		}
+	}
+	for i, pt := range testPoints() {
+		if err := pt.Validate(); err != nil {
+			t.Errorf("good point %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestPointKeyVariantCompat pins the key-compatibility invariant the
+// cache depends on: a point with zero-valued variant knobs keys
+// identically to the plain run (the key builder drops zero fields), and
+// an explicit workload config keys identically to the equivalent
+// bench/scale/set naming — so entries recorded by any sweep serve every
+// other, exactly as before the executor refactor.
+func TestPointKeyVariantCompat(t *testing.T) {
+	cfg := MachineConfig(ScaleReduced, 0)
+	plain := Point{Cfg: cfg, System: SysStache, Bench: "em3d", Scale: ScaleReduced, Set: SetSmall}
+	ecfg := EM3DConfig(ScaleReduced, SetSmall)
+	explicit := Point{Cfg: cfg, System: SysStache, EM3D: &ecfg}
+	budget0 := plain
+	budget0.StacheMaxPages = 0
+	const code = "testcode"
+	k1, err := PointKey(code, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pt := range map[string]Point{"explicit-config": explicit, "budget-0": budget0} {
+		k2, err := PointKey(code, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Errorf("%s point keys differently from the plain run: %s vs %s", name, k1, k2)
+		}
+	}
+	mig := plain
+	mig.StacheMigratory = true
+	if k3, _ := PointKey(code, mig); k3 == k1 {
+		t.Error("migratory point keys identically to the plain run")
+	}
+	budget := plain
+	budget.StacheMaxPages = 4
+	if k4, _ := PointKey(code, budget); k4 == k1 {
+		t.Error("budget point keys identically to the plain run")
+	}
+}
+
+// TestRunAllAggregatesSlowSecondFailure is the satellite-1 contract: a
+// second, slower failure with a distinct error is joined into the
+// returned error instead of being silently dropped.
+func TestRunAllAggregatesSlowSecondFailure(t *testing.T) {
+	first := errors.New("first failure")
+	second := errors.New("second slow failure")
+	started := make(chan struct{})
+	jobs := []Job[int]{
+		func(_ context.Context) (int, error) {
+			<-started // fail only once the slow job is in flight
+			return 0, first
+		},
+		func(ctx context.Context) (int, error) {
+			close(started)
+			<-ctx.Done() // observe the fail-fast cancellation...
+			time.Sleep(20 * time.Millisecond)
+			return 0, second // ...and still fail late with a distinct error
+		},
+	}
+	_, err := RunAll(jobs, 2)
+	if !errors.Is(err, first) {
+		t.Fatalf("first failure lost: %v", err)
+	}
+	if !errors.Is(err, second) {
+		t.Fatalf("slow second failure lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "job 0") || !strings.Contains(err.Error(), "job 1") {
+		t.Errorf("joined error should name both jobs: %v", err)
+	}
+}
+
+// TestRunAllPointTimeout is the satellite-2 contract: a hung job fails
+// the sweep with a structured error naming the point, and the rest of
+// the sweep is not wedged.
+func TestRunAllPointTimeout(t *testing.T) {
+	hung := make(chan struct{})
+	t.Cleanup(func() { close(hung) })
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { <-hung; return 0, nil },
+	}
+	_, err := RunAllOpts(jobs, RunOptions{
+		Workers:      2,
+		PointTimeout: 20 * time.Millisecond,
+		Label:        func(i int) string { return fmt.Sprintf("point-%d", i) },
+	})
+	var pte *PointTimeoutError
+	if !errors.As(err, &pte) {
+		t.Fatalf("err = %v, want *PointTimeoutError", err)
+	}
+	if pte.Point != "point-1" {
+		t.Errorf("timeout names %q, want point-1", pte.Point)
+	}
+	if !strings.Contains(err.Error(), "point-1") || !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("error should name the point and the timeout: %v", err)
+	}
+}
+
+// TestLocalExecutorPointTimeoutNamesPoint drives the timeout through a
+// real executor batch: the structured error carries the sweep point's
+// own label.
+func TestLocalExecutorPointTimeoutNamesPoint(t *testing.T) {
+	ecfg := em3d.Tiny()
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = 4
+	pt := Point{Cfg: cfg, System: SysStache, EM3D: &ecfg, NoCache: true}
+	_, err := LocalExecutor{Workers: 1}.Submit(context.Background(), Batch{
+		Points:       []Point{pt},
+		PointTimeout: time.Nanosecond,
+	})
+	var pte *PointTimeoutError
+	if !errors.As(err, &pte) {
+		t.Fatalf("err = %v, want *PointTimeoutError", err)
+	}
+	if pte.Point != pt.Label() {
+		t.Errorf("timeout names %q, want %q", pte.Point, pt.Label())
+	}
+}
+
+// TestLocalExecutorMatchesDirectRuns pins the refactor's core claim:
+// submitting points through the executor returns exactly what the
+// pre-executor harness produced for the same configurations.
+func TestLocalExecutorMatchesDirectRuns(t *testing.T) {
+	cfg := MachineConfig(ScaleReduced, 4<<10)
+	pts := []Point{
+		{Cfg: cfg, System: SysDirNNB, Bench: "ocean", Scale: ScaleReduced, Set: SetSmall},
+		{Cfg: cfg, System: SysStache, Bench: "ocean", Scale: ScaleReduced, Set: SetSmall},
+	}
+	got, err := LocalExecutor{Workers: 2}.Submit(context.Background(), Batch{Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		app, err := MakeApp(pt.Bench, pt.Scale, pt.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(pt.Cfg, pt.System, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i].RunResult, want) {
+			t.Errorf("point %d: executor result differs from direct Run", i)
+		}
+	}
+}

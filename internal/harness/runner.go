@@ -2,9 +2,12 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 )
 
 // The experiments in this package replay the paper's evaluation, which
@@ -30,18 +33,48 @@ type RunOptions struct {
 	// the number done so far and the total. Calls are serialized (never
 	// concurrent) but arrive in completion order, not job order.
 	Progress func(done, total int)
+	// PointTimeout, when > 0, bounds each job's wall-clock run. A job
+	// that exceeds it fails with a *PointTimeoutError; the simulation
+	// goroutine is abandoned (a machine run cannot be interrupted
+	// mid-flight) and its eventual result discarded.
+	PointTimeout time.Duration
+	// Label, when non-nil, names job i in errors; the default is
+	// "job <i>".
+	Label func(i int) string
+}
+
+// PointTimeoutError reports a sweep point that exceeded the configured
+// per-point timeout. The abandoned simulation keeps running on its own
+// goroutine until it finishes; its result is discarded.
+type PointTimeoutError struct {
+	// Point names the timed-out sweep point (a Point.Label or a job
+	// label).
+	Point string
+	// Timeout is the limit that was exceeded.
+	Timeout time.Duration
+}
+
+func (e *PointTimeoutError) Error() string {
+	p := e.Point
+	if p == "" {
+		p = "point"
+	}
+	return fmt.Sprintf("%s: no result within the %v point timeout (simulation abandoned)", p, e.Timeout)
 }
 
 // RunAll executes every job on a pool of workers goroutines (<= 0 uses
 // all cores) and returns the results in job order. On the first error
 // the pool stops handing out new jobs (fail-fast via context
 // cancellation), waits for in-flight jobs, and returns the error of the
-// lowest-indexed job that failed, wrapped with its index.
+// lowest-indexed job that failed, wrapped with its index; distinct
+// errors from other in-flight jobs are aggregated via errors.Join, so a
+// slow second failure is never silently dropped.
 func RunAll[T any](jobs []Job[T], workers int) ([]T, error) {
 	return RunAllOpts(jobs, RunOptions{Workers: workers})
 }
 
-// RunAllOpts is RunAll with a progress callback.
+// RunAllOpts is RunAll with progress, per-point timeout, and labelling
+// options.
 func RunAllOpts[T any](jobs []Job[T], opts RunOptions) ([]T, error) {
 	n := len(jobs)
 	results := make([]T, n)
@@ -60,10 +93,9 @@ func RunAllOpts[T any](jobs []Job[T], opts RunOptions) ([]T, error) {
 	defer cancel()
 
 	var (
-		mu      sync.Mutex
-		errIdx  = -1
-		firstEr error
-		done    int
+		mu   sync.Mutex
+		errs map[int]error
+		done int
 	)
 	feed := make(chan int)
 	go func() {
@@ -89,14 +121,17 @@ func RunAllOpts[T any](jobs []Job[T], opts RunOptions) ([]T, error) {
 				if ctx.Err() != nil {
 					continue
 				}
-				res, err := jobs[i](ctx)
+				res, err := runJob(ctx, jobs[i], opts.PointTimeout)
 				mu.Lock()
 				if err != nil {
-					// Keep the lowest-indexed failure so the error is as
-					// stable as fail-fast scheduling allows.
-					if errIdx == -1 || i < errIdx {
-						errIdx, firstEr = i, err
+					var pte *PointTimeoutError
+					if errors.As(err, &pte) && pte.Point == "" {
+						pte.Point = jobLabel(opts.Label, i)
 					}
+					if errs == nil {
+						errs = make(map[int]error)
+					}
+					errs[i] = err
 					mu.Unlock()
 					cancel()
 					continue
@@ -111,8 +146,85 @@ func RunAllOpts[T any](jobs []Job[T], opts RunOptions) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-	if errIdx >= 0 {
-		return nil, fmt.Errorf("harness: job %d: %w", errIdx, firstEr)
+	if len(errs) > 0 {
+		return nil, joinJobErrors(errs, opts.Label)
 	}
 	return results, nil
+}
+
+// runJob executes one job, enforcing the per-point timeout when one is
+// set. On timeout the job's goroutine is abandoned — it keeps running
+// until the simulation completes and then discards its result into the
+// buffered channel — because a machine run cannot be interrupted.
+func runJob[T any](ctx context.Context, job Job[T], timeout time.Duration) (T, error) {
+	if timeout <= 0 {
+		return job(ctx)
+	}
+	jctx, cancel := context.WithTimeout(ctx, timeout)
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer cancel()
+		v, err := job(jctx)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-jctx.Done():
+		if ctx.Err() == nil && errors.Is(jctx.Err(), context.DeadlineExceeded) {
+			var zero T
+			return zero, &PointTimeoutError{Timeout: timeout}
+		}
+		// The shared context was cancelled (another job failed): keep
+		// the historical behaviour of waiting for the in-flight run.
+		o := <-ch
+		return o.v, o.err
+	}
+}
+
+func jobLabel(label func(int) string, i int) string {
+	if label != nil {
+		return label(i)
+	}
+	return fmt.Sprintf("job %d", i)
+}
+
+// joinJobErrors folds every failed job into one error: the
+// lowest-indexed failure leads (stable under fail-fast scheduling),
+// and later failures with distinct messages join it rather than being
+// dropped. Cancellation fallout — a job that merely observed the
+// shared context dying — is omitted when any real failure exists.
+func joinJobErrors(errs map[int]error, label func(int) string) error {
+	idxs := make([]int, 0, len(errs))
+	for i := range errs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	real := idxs[:0:0]
+	for _, i := range idxs {
+		if !errors.Is(errs[i], context.Canceled) {
+			real = append(real, i)
+		}
+	}
+	if len(real) > 0 {
+		idxs = real
+	}
+	var joined []error
+	seen := make(map[string]bool)
+	for _, i := range idxs {
+		msg := errs[i].Error()
+		if seen[msg] {
+			continue
+		}
+		seen[msg] = true
+		joined = append(joined, fmt.Errorf("harness: %s: %w", jobLabel(label, i), errs[i]))
+	}
+	if len(joined) == 1 {
+		return joined[0]
+	}
+	return errors.Join(joined...)
 }

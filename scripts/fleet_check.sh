@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# fleet-check: the distributed-sweep digest gate.
+#
+# Runs the reduced bench sweep through a standalone fleet coordinator
+# and two local workers over a unix socket — with one worker rigged to
+# die after its second lease — and requires the output digest to match
+# the committed golden exactly. This pins the whole fleet contract at
+# once: lease/heartbeat/reassignment under a real worker loss, result
+# verification against canonical cache keys, group sequencing through
+# the remote client, and bit-identical results versus the local pool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+sock="$tmp/fleet.sock"
+
+go build -o "$tmp/fleet" ./cmd/fleet
+go build -o "$tmp/bench" ./cmd/bench
+
+"$tmp/fleet" coordinator -addr "$sock" -quiet &
+
+# Worker 1 exits(1) right after its second lease — the injected
+# mid-run loss the coordinator must absorb by re-leasing its work.
+# Worker 2 runs two slots and survives to finish the sweep. Both
+# retry the dial, so start order doesn't matter.
+"$tmp/fleet" worker -addr "$sock" -die-after-leases 2 -quiet &
+"$tmp/fleet" worker -addr "$sock" -j 2 -quiet &
+
+"$tmp/bench" -fleet "$sock" -check testdata/bench.digest
+
+echo "fleet-check: digest ok through coordinator + 2 workers (one killed mid-run)"
